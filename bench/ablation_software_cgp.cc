@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §6 future-work ablation: software CGP vs hardware CGP.
+ *
+ * The paper notes CGP "can be implemented entirely in software by
+ * having a compiler insert prefetch instructions into the code based
+ * on call graph information generated from profile executions" but
+ * does not evaluate it.  This bench does: SW-CGP uses a frozen
+ * profile-derived call table (no hardware, no online adaptation);
+ * HW-CGP uses the 2KB+32KB CGHC.  A second table checks the §3.2
+ * design note that a direct-mapped CGHC suffices by sweeping CGHC
+ * associativity.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace cgp;
+    using namespace cgp::bench;
+
+    std::cerr << "building database workloads...\n";
+    DbWorkloadSet set = WorkloadFactory::buildDbSet();
+
+    const std::vector<SimConfig> configs = {
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withSoftwareCgp(LayoutKind::PettisHansen, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
+    };
+    const ResultMatrix m = runMatrix(set.workloads, configs);
+    printCycleTable("Software CGP vs hardware CGP (§6)", m,
+                    set.workloads, configs);
+
+    TablePrinter t("I-cache misses");
+    t.setHeader({"workload", "OM", "OM+NL_4", "OM+SWCGP_4",
+                 "OM+CGP_4"});
+    for (const auto &w : set.workloads) {
+        std::vector<std::string> row{w.name};
+        for (const auto &c : configs) {
+            row.push_back(TablePrinter::num(
+                m.at({w.name, c.describe()}).icacheMisses));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    // §3.2 design note: direct-mapped CGHC vs set-associative.
+    std::vector<SimConfig> assoc_configs;
+    std::vector<std::string> labels;
+    for (unsigned a : {1u, 2u, 4u}) {
+        CghcConfig geom = CghcConfig::twoLevel2K32K();
+        geom.assoc = a;
+        assoc_configs.push_back(SimConfig::withCgpGeometry(
+            LayoutKind::PettisHansen, 4, geom));
+        labels.push_back(geom.describe());
+    }
+    TablePrinter at("CGHC associativity (§3.2: direct-mapped "
+                    "suffices)");
+    std::vector<std::string> header{"workload"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    at.setHeader(header);
+    for (const auto &w : set.workloads) {
+        std::vector<std::string> row{w.name};
+        double base = 0;
+        for (std::size_t i = 0; i < assoc_configs.size(); ++i) {
+            std::cerr << "  running " << w.name << " / " << labels[i]
+                      << "...\n";
+            const SimResult r = runSimulation(w, assoc_configs[i]);
+            if (i == 0)
+                base = static_cast<double>(r.cycles);
+            row.push_back(TablePrinter::fixed(
+                static_cast<double>(r.cycles) / base, 4));
+        }
+        at.addRow(row);
+    }
+    at.print(std::cout);
+
+    std::cout << "\nExpected: SW-CGP recovers much of hardware "
+                 "CGP's benefit using profile feedback alone, but "
+                 "cannot adapt to runtime call sequences; CGHC "
+                 "associativity barely matters, confirming the "
+                 "paper's direct-mapped choice.\n";
+    return 0;
+}

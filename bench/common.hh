@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: run a matrix
+ * of (workload x config) simulations and print paper-style tables
+ * (absolute cycles plus bars normalized the way the paper plots
+ * them).
+ */
+
+#ifndef CGP_BENCH_COMMON_HH
+#define CGP_BENCH_COMMON_HH
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/simulator.hh"
+#include "harness/workload.hh"
+#include "util/table.hh"
+
+namespace cgp::bench
+{
+
+/** Results keyed by (workload, config-label). */
+using ResultMatrix =
+    std::map<std::pair<std::string, std::string>, SimResult>;
+
+/** Run every config against every workload. */
+inline ResultMatrix
+runMatrix(const std::vector<Workload> &workloads,
+          const std::vector<SimConfig> &configs, bool verbose = true)
+{
+    ResultMatrix m;
+    for (const auto &w : workloads) {
+        for (const auto &c : configs) {
+            if (verbose) {
+                std::cerr << "  running " << w.name << " / "
+                          << c.describe() << "...\n";
+            }
+            SimResult r = runSimulation(w, c);
+            m.emplace(std::make_pair(w.name, r.config), std::move(r));
+        }
+    }
+    return m;
+}
+
+/**
+ * Print execution cycles: one row per workload, one column per
+ * config, plus a normalized view (first config = 1.00, smaller is
+ * faster) matching the paper's bar charts.
+ */
+inline void
+printCycleTable(const std::string &title, const ResultMatrix &m,
+                const std::vector<Workload> &workloads,
+                const std::vector<SimConfig> &configs)
+{
+    TablePrinter abs(title + " — execution cycles");
+    TablePrinter norm(title + " — normalized to " +
+                      configs.front().describe() +
+                      " (lower is faster)");
+    std::vector<std::string> header{"workload"};
+    for (const auto &c : configs)
+        header.push_back(c.describe());
+    abs.setHeader(header);
+    norm.setHeader(header);
+
+    for (const auto &w : workloads) {
+        std::vector<std::string> arow{w.name};
+        std::vector<std::string> nrow{w.name};
+        const auto base = static_cast<double>(
+            m.at({w.name, configs.front().describe()}).cycles);
+        for (const auto &c : configs) {
+            const auto &r = m.at({w.name, c.describe()});
+            arow.push_back(TablePrinter::num(r.cycles));
+            nrow.push_back(TablePrinter::fixed(
+                static_cast<double>(r.cycles) / base, 3));
+        }
+        abs.addRow(arow);
+        norm.addRow(nrow);
+    }
+    abs.print(std::cout);
+    std::cout << "\n";
+    norm.print(std::cout);
+}
+
+/** Geometric-mean speedup of config b over config a. */
+inline double
+geomeanSpeedup(const ResultMatrix &m,
+               const std::vector<Workload> &workloads,
+               const SimConfig &a, const SimConfig &b)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &w : workloads) {
+        const auto ca =
+            static_cast<double>(m.at({w.name, a.describe()}).cycles);
+        const auto cb =
+            static_cast<double>(m.at({w.name, b.describe()}).cycles);
+        log_sum += std::log(ca / cb);
+        ++n;
+    }
+    return n == 0 ? 1.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+} // namespace cgp::bench
+
+#endif // CGP_BENCH_COMMON_HH

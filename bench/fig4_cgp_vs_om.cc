@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 4: Performance comparison of O5, OM and CGP.
+ *
+ * Bars (paper): O5, O5+OM, O5+CGP_2, O5+CGP_4, O5+OM+CGP_2,
+ * O5+OM+CGP_4, for the four database workloads.  The paper reports:
+ * OM ~11% speedup over O5; CGP_4 alone ~40%; OM+CGP_4 ~45% over O5
+ * and ~30% over OM alone.  CGHC: two-level 2KB+32KB.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace cgp;
+    using namespace cgp::bench;
+
+    std::cerr << "building database workloads...\n";
+    DbWorkloadSet set = WorkloadFactory::buildDbSet();
+
+    const std::vector<SimConfig> configs = {
+        SimConfig::o5(),
+        SimConfig::o5Om(),
+        SimConfig::withCgp(LayoutKind::Original, 2),
+        SimConfig::withCgp(LayoutKind::Original, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
+    };
+
+    const ResultMatrix m = runMatrix(set.workloads, configs);
+    printCycleTable("Figure 4", m, set.workloads, configs);
+
+    std::cout << "\nGeometric-mean speedups (paper reference in "
+                 "parentheses):\n";
+    std::cout << "  OM over O5:        "
+              << TablePrinter::fixed(
+                     geomeanSpeedup(m, set.workloads, configs[0],
+                                    configs[1]),
+                     3)
+              << "  (paper ~1.11)\n";
+    std::cout << "  CGP_4 over O5:     "
+              << TablePrinter::fixed(
+                     geomeanSpeedup(m, set.workloads, configs[0],
+                                    configs[3]),
+                     3)
+              << "  (paper ~1.40)\n";
+    std::cout << "  OM+CGP_4 over O5:  "
+              << TablePrinter::fixed(
+                     geomeanSpeedup(m, set.workloads, configs[0],
+                                    configs[5]),
+                     3)
+              << "  (paper ~1.45)\n";
+    std::cout << "  OM+CGP_4 over OM:  "
+              << TablePrinter::fixed(
+                     geomeanSpeedup(m, set.workloads, configs[1],
+                                    configs[5]),
+                     3)
+              << "  (paper ~1.30)\n";
+    return 0;
+}

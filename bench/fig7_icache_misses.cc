@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 7: I-cache miss comparison of O5, OM, OM+NL and OM+CGP.
+ *
+ * Paper: OM cuts misses ~21% vs O5; OM+NL ~77%; OM+CGP ~87%
+ * (~83% vs the OM baseline per the abstract).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace cgp;
+    using namespace cgp::bench;
+
+    std::cerr << "building database workloads...\n";
+    DbWorkloadSet set = WorkloadFactory::buildDbSet();
+
+    const std::vector<SimConfig> configs = {
+        SimConfig::o5(),
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
+    };
+
+    const ResultMatrix m = runMatrix(set.workloads, configs);
+
+    TablePrinter t("Figure 7 — L1 I-cache demand misses");
+    t.setHeader({"workload", "O5", "O5+OM", "OM+NL_4", "OM+CGP_4",
+                 "OM/O5", "NL/O5", "CGP/O5"});
+    double om_sum = 0, nl_sum = 0, cgp_sum = 0, o5_sum = 0;
+    for (const auto &w : set.workloads) {
+        const auto o5 = m.at({w.name, configs[0].describe()});
+        const auto om = m.at({w.name, configs[1].describe()});
+        const auto nl = m.at({w.name, configs[2].describe()});
+        const auto cg = m.at({w.name, configs[3].describe()});
+        o5_sum += static_cast<double>(o5.icacheMisses);
+        om_sum += static_cast<double>(om.icacheMisses);
+        nl_sum += static_cast<double>(nl.icacheMisses);
+        cgp_sum += static_cast<double>(cg.icacheMisses);
+        const auto frac = [&o5](std::uint64_t v) {
+            return TablePrinter::fixed(
+                static_cast<double>(v) /
+                    static_cast<double>(o5.icacheMisses),
+                3);
+        };
+        t.addRow({w.name, TablePrinter::num(o5.icacheMisses),
+                  TablePrinter::num(om.icacheMisses),
+                  TablePrinter::num(nl.icacheMisses),
+                  TablePrinter::num(cg.icacheMisses),
+                  frac(om.icacheMisses), frac(nl.icacheMisses),
+                  frac(cg.icacheMisses)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAggregate miss reduction vs O5 "
+                 "(paper: OM ~21%, OM+NL ~77%, OM+CGP ~87%):\n";
+    std::cout << "  OM:     "
+              << TablePrinter::percent(1.0 - om_sum / o5_sum) << "\n";
+    std::cout << "  OM+NL:  "
+              << TablePrinter::percent(1.0 - nl_sum / o5_sum) << "\n";
+    std::cout << "  OM+CGP: "
+              << TablePrinter::percent(1.0 - cgp_sum / o5_sum)
+              << "\n";
+    return 0;
+}

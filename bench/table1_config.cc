@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 1: microarchitecture parameter values — printed from the
+ * live default configuration objects so the table cannot drift from
+ * what the simulations actually use.
+ */
+
+#include <iostream>
+
+#include "harness/simconfig.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace cgp;
+
+    const SimConfig c = SimConfig::o5();
+
+    TablePrinter t("Table 1. Microarchitecture Parameter Values");
+    t.setHeader({"Parameter", "Value"});
+    t.addRow({"Fetch, Decode & Issue Width",
+              std::to_string(c.core.fetchWidth)});
+    t.addRow({"Inst Fetch & L/S Queue Size",
+              std::to_string(c.core.fetchQueueSize)});
+    t.addRow({"Reservation stations",
+              std::to_string(c.core.rsSize)});
+    t.addRow({"Functional Units",
+              std::to_string(c.core.intAlus) + "add/" +
+                  std::to_string(c.core.multipliers) + "mult"});
+    t.addRow({"Memory system ports to CPU",
+              std::to_string(c.core.memPorts)});
+    t.addRow({"L1 I and D cache each",
+              std::to_string(c.mem.l1i.sizeBytes / 1024) + "KB," +
+                  std::to_string(c.mem.l1i.assoc) + "-way," +
+                  std::to_string(c.mem.l1i.lineBytes) + "byte"});
+    t.addRow({"Unified L2 cache",
+              std::to_string(c.mem.l2.sizeBytes / (1024 * 1024)) +
+                  "MB," + std::to_string(c.mem.l2.assoc) + "-way," +
+                  std::to_string(c.mem.l2.lineBytes) + "byte"});
+    t.addRow({"L1 hit latency(cycles)",
+              std::to_string(c.mem.l1i.hitLatency)});
+    t.addRow({"L2 hit latency(cycles)",
+              std::to_string(c.mem.l2.hitLatency)});
+    t.addRow({"Mem latency (cycles)", "80"});
+    t.addRow({"Branch Predictor",
+              "2-lev," +
+                  std::to_string((1u << c.core.branch.phtBits) /
+                                 1024) +
+                  "K-entry"});
+    t.print(std::cout);
+    return 0;
+}

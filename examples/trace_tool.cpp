@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace files: record a workload once, save it, and analyze it
+ * offline.  Usage:
+ *
+ *   trace_tool record <path>   # record wisc-prof into <path>
+ *   trace_tool info <path>     # anatomy of a saved trace
+ *
+ * With no arguments, does both against a temporary file — a
+ * self-contained demo of the on-disk format.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/workload.hh"
+#include "trace/expand.hh"
+#include "trace/serialize.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+int
+record(const std::string &path)
+{
+    using namespace cgp;
+    std::cout << "Recording wisc-prof (storage manager + three "
+                 "Wisconsin queries)...\n";
+    DbWorkloadSet set = WorkloadFactory::buildDbSet();
+    const Workload &w = set.workloads[0];
+    if (!saveTraceFile(*w.trace, path)) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "  wrote " << w.trace->size() << " events (~"
+              << w.trace->approxInstrs() << " instructions) to "
+              << path << "\n";
+    return 0;
+}
+
+int
+info(const std::string &path)
+{
+    using namespace cgp;
+    TraceBuffer trace;
+    if (!loadTraceFile(trace, path)) {
+        std::cerr << "error: cannot load " << path
+                  << " (missing or corrupt)\n";
+        return 1;
+    }
+
+    std::map<EventKind, std::uint64_t> kinds;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ++kinds[trace.at(i).kind()];
+
+    TablePrinter t("trace anatomy: " + path);
+    t.setHeader({"event kind", "count"});
+    const std::pair<EventKind, const char *> names[] = {
+        {EventKind::Call, "call"},     {EventKind::Return, "return"},
+        {EventKind::Work, "work"},     {EventKind::Branch, "branch"},
+        {EventKind::Load, "load"},     {EventKind::Store, "store"},
+        {EventKind::Switch, "switch"},
+    };
+    for (const auto &[kind, name] : names)
+        t.addRow({name, TablePrinter::num(kinds[kind])});
+    t.addRule();
+    t.addRow({"total events", TablePrinter::num(trace.size())});
+    t.addRow({"approx instructions",
+              TablePrinter::num(trace.approxInstrs())});
+    t.addRow({"instructions / call",
+              TablePrinter::fixed(
+                  static_cast<double>(trace.approxInstrs()) /
+                      static_cast<double>(trace.calls()),
+                  1)});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::string(argv[1]) == "record")
+        return record(argv[2]);
+    if (argc == 3 && std::string(argv[1]) == "info")
+        return info(argv[2]);
+    if (argc != 1) {
+        std::cerr << "usage: trace_tool [record|info <path>]\n";
+        return 2;
+    }
+
+    const std::string tmp = "/tmp/cgp_demo.trace";
+    const int rc = record(tmp);
+    if (rc != 0)
+        return rc;
+    const int rc2 = info(tmp);
+    std::remove(tmp.c_str());
+    return rc2;
+}

@@ -1,0 +1,222 @@
+#include "branch/predictor.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+TwoLevelPredictor::TwoLevelPredictor(unsigned pht_bits)
+    : bits_(pht_bits), pht_(1u << pht_bits, 2) // weakly taken
+{
+    cgp_assert(pht_bits >= 4 && pht_bits <= 24, "unreasonable PHT size");
+}
+
+std::size_t
+TwoLevelPredictor::index(Addr pc) const
+{
+    // GAg with a gshare-style hash keeps aliasing tolerable.
+    const std::uint64_t mask = (1ull << bits_) - 1;
+    return static_cast<std::size_t>((history_ ^ (pc >> 2)) & mask);
+}
+
+bool
+TwoLevelPredictor::predict(Addr pc) const
+{
+    return pht_[index(pc)] >= 2;
+}
+
+void
+TwoLevelPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = pht_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+Btb::Btb(unsigned entries, unsigned assoc)
+    : sets_(entries / assoc), assoc_(assoc), entries_(entries)
+{
+    cgp_assert(assoc > 0 && entries % assoc == 0,
+               "BTB entries must divide evenly into ways");
+    cgp_assert(isPowerOfTwo(sets_), "BTB set count must be a power of 2");
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return static_cast<std::size_t>((pc >> 2) & (sets_ - 1));
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target) const
+{
+    const std::size_t base = setOf(pc) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.pc == pc) {
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const std::size_t base = setOf(pc) * assoc_;
+    ++tick_;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.pc == pc) {
+            e.target = target;
+            e.lru = tick_;
+            return;
+        }
+        if (e.lru < entries_[victim].lru)
+            victim = base + w;
+    }
+    entries_[victim] = {pc, target, tick_};
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth) : stack_(depth)
+{
+    cgp_assert(depth > 0, "RAS must have at least one entry");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr, Addr caller_func_start)
+{
+    stack_[top_] = {return_addr, caller_func_start};
+    top_ = (top_ + 1) % stack_.size();
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+ReturnAddressStack::Entry
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return {};
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    return stack_[top_];
+}
+
+BranchUnit::BranchUnit(const BranchPredictorConfig &config)
+    : direction_(config.phtBits),
+      btb_(config.btbEntries, config.btbAssoc),
+      ras_(config.rasEntries),
+      stats_("branch")
+{
+    stats_.addCounter("lookups", &lookups_,
+                      "control instructions predicted");
+    stats_.addCounter("mispredicts", &mispredicts_,
+                      "direction or target mispredictions");
+    stats_.addCounter("cond_lookups", &condLookups_,
+                      "conditional branches predicted");
+    stats_.addCounter("cond_mispredicts", &condMispredicts_,
+                      "conditional direction mispredictions");
+    stats_.addCounter("btb_misses", &btbMisses_,
+                      "taken control transfers missing a BTB target");
+    stats_.addCounter("ras_mispredicts", &rasMispredicts_,
+                      "returns with a wrong RAS prediction");
+    stats_.addFormula(
+        "mispredict_rate",
+        [this]() {
+            const auto l = lookups_.value();
+            return l == 0 ? 0.0
+                          : static_cast<double>(mispredicts_.value())
+                              / static_cast<double>(l);
+        },
+        "fraction of predicted control instructions mispredicted");
+}
+
+BranchUnit::Prediction
+BranchUnit::predictConditional(Addr pc, bool actual_taken,
+                               Addr actual_target)
+{
+    ++lookups_;
+    ++condLookups_;
+    Prediction p;
+    p.taken = direction_.predict(pc);
+    if (p.taken)
+        p.targetKnown = btb_.lookup(pc, p.target);
+
+    const bool direction_wrong = p.taken != actual_taken;
+    const bool target_wrong =
+        actual_taken && p.taken && (!p.targetKnown ||
+                                    p.target != actual_target);
+    if (direction_wrong || target_wrong) {
+        ++mispredicts_;
+        if (direction_wrong)
+            ++condMispredicts_;
+    }
+
+    direction_.update(pc, actual_taken);
+    if (actual_taken)
+        btb_.update(pc, actual_target);
+    return p;
+}
+
+BranchUnit::Prediction
+BranchUnit::predictJump(Addr pc, Addr actual_target)
+{
+    ++lookups_;
+    Prediction p;
+    p.taken = true;
+    p.targetKnown = btb_.lookup(pc, p.target);
+    if (!p.targetKnown || p.target != actual_target) {
+        ++mispredicts_;
+        ++btbMisses_;
+    }
+    btb_.update(pc, actual_target);
+    return p;
+}
+
+BranchUnit::Prediction
+BranchUnit::predictCall(Addr pc, Addr actual_target,
+                        Addr caller_func_start)
+{
+    ++lookups_;
+    Prediction p;
+    p.taken = true;
+    p.targetKnown = btb_.lookup(pc, p.target);
+    if (!p.targetKnown || p.target != actual_target) {
+        ++mispredicts_;
+        ++btbMisses_;
+    }
+    btb_.update(pc, actual_target);
+    // The paper's modification: push the caller's starting address
+    // beside the return address.
+    ras_.push(pc + 4, caller_func_start);
+    return p;
+}
+
+BranchUnit::Prediction
+BranchUnit::predictReturn(Addr pc, Addr actual_target)
+{
+    (void)pc;
+    ++lookups_;
+    Prediction p;
+    p.taken = true;
+    const auto entry = ras_.pop();
+    p.target = entry.returnAddr;
+    p.targetKnown = entry.returnAddr != invalidAddr;
+    p.callerFuncStart = entry.callerFuncStart;
+    if (!p.targetKnown || p.target != actual_target) {
+        ++mispredicts_;
+        ++rasMispredicts_;
+    }
+    return p;
+}
+
+} // namespace cgp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Synthetic function bodies.
+ *
+ * The reproduction does not execute real machine code; instead every
+ * traced function in the workload (DBMS layers, SPEC proxies, kernel
+ * scheduler stubs) is given a synthesized control-flow graph whose
+ * shape is representative of compiled code:
+ *
+ *  - a *hot walk*: the sequence of basic blocks executed on the
+ *    common path, possibly looping back to the walk head;
+ *  - *cold blocks*: error/edge-case code that occupies space in the
+ *    function body but is never executed (the code-density problem
+ *    that OM's basic-block reordering fixes);
+ *  - *decision sites*: data-dependent two-armed branches whose
+ *    direction is recorded in the trace by the workload itself
+ *    (e.g. "does this tuple satisfy the predicate?").
+ *
+ * The dynamic trace is layout independent; binding blocks to
+ * addresses is done separately by a CodeImage (see layout.hh), which
+ * is how the same execution is measured under the O5 and OM layouts.
+ */
+
+#ifndef CGP_CODEGEN_FUNCTION_HH
+#define CGP_CODEGEN_FUNCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cgp
+{
+
+/** Bytes per (synthetic) instruction; all instructions are 4 bytes. */
+constexpr unsigned instrBytes = 4;
+
+/** Role a basic block plays inside its function. */
+enum class BlockRole : std::uint8_t
+{
+    Hot,  ///< on the common-path walk
+    Cold, ///< present in the body, never executed
+    Arm   ///< decision-site arm reached via a taken branch
+};
+
+/**
+ * A basic block: straight-line instructions ending in an implicit
+ * terminator (the last instruction slot).  Successor structure is
+ * kept at the Function level (hot walk + decision sites), since the
+ * walk is what execution follows.
+ */
+struct BasicBlock
+{
+    std::uint16_t instrs;   ///< instruction count, including terminator
+    BlockRole role;
+
+    std::uint32_t sizeBytes() const { return instrs * instrBytes; }
+};
+
+/**
+ * A data-dependent branch site.  When the trace carries a Branch
+ * event for this function, the expander emits a conditional branch
+ * at the current position.  Not-taken falls through inside the
+ * current block; taken jumps to the arm block, executes it, and
+ * rejoins the walk at the next hot block.
+ */
+struct DecisionSite
+{
+    std::uint16_t arm; ///< block index of the taken arm
+};
+
+/**
+ * A synthesized function body.
+ *
+ * @invariant hotWalk is nonempty and refers only to Hot blocks.
+ * @invariant originalOrder is a permutation of all block indices.
+ */
+class Function
+{
+  public:
+    FunctionId id = invalidFunctionId;
+    std::string name;
+
+    std::vector<BasicBlock> blocks;
+
+    /** Execution order of hot blocks (indices into blocks). */
+    std::vector<std::uint16_t> hotWalk;
+
+    /** Data-dependent branch sites, used round-robin. */
+    std::vector<DecisionSite> decisions;
+
+    /** Unoptimized (O5) layout order of block indices. */
+    std::vector<std::uint16_t> originalOrder;
+
+    /** Whether the hot walk loops back to its head when exhausted. */
+    bool loops = true;
+
+    /** Total body size in bytes. */
+    std::uint32_t
+    sizeBytes() const
+    {
+        std::uint32_t total = 0;
+        for (const auto &b : blocks)
+            total += b.sizeBytes();
+        return total;
+    }
+
+    /** Instructions on one pass of the hot walk. */
+    std::uint32_t
+    hotWalkInstrs() const
+    {
+        std::uint32_t total = 0;
+        for (std::uint16_t b : hotWalk)
+            total += blocks[b].instrs;
+        return total;
+    }
+};
+
+/**
+ * Declarative size/shape hints used when synthesizing a function
+ * body.  Workload code describes each traced function with one of
+ * these; the registry turns it into a concrete CFG with a
+ * name-seeded deterministic RNG.
+ */
+struct FunctionTraits
+{
+    /** Rough instruction count of the common path. */
+    std::uint32_t hotInstrs = 48;
+
+    /** Cold code fraction relative to hot code (O5 body bloat). */
+    double coldFraction = 0.9;
+
+    /** Number of data-dependent branch sites. */
+    unsigned decisionSites = 1;
+
+    /** Whether the body is a loop (walk wraps around). */
+    bool loops = true;
+
+    /** Convenience presets for the common layer shapes. */
+    static FunctionTraits tiny();      ///< accessor-like, ~12 instrs
+    static FunctionTraits small();     ///< leaf helper, ~32 instrs
+    static FunctionTraits medium();    ///< typical layer entry, ~64
+    static FunctionTraits large();     ///< operator inner loop, ~128
+    static FunctionTraits huge();      ///< setup/parse code, ~320
+};
+
+} // namespace cgp
+
+#endif // CGP_CODEGEN_FUNCTION_HH

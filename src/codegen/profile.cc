@@ -1,0 +1,143 @@
+#include "codegen/profile.hh"
+
+#include <algorithm>
+
+namespace cgp
+{
+
+const ExecutionProfile::BlockEdgeMap ExecutionProfile::emptyEdges_;
+
+void
+ExecutionProfile::onCall(FunctionId caller, FunctionId callee)
+{
+    ++callEdges_[{caller, callee}];
+    ++totalCalls_;
+}
+
+void
+ExecutionProfile::onBlockEdge(FunctionId fid, std::uint16_t from,
+                              std::uint16_t to)
+{
+    ++blockEdges_[fid][{from, to}];
+}
+
+void
+ExecutionProfile::onDecision(FunctionId fid, std::uint16_t site,
+                             bool taken)
+{
+    auto &d = decisions_[{fid, site}];
+    if (taken)
+        ++d.first;
+    else
+        ++d.second;
+}
+
+void
+ExecutionProfile::onEntry(FunctionId fid)
+{
+    ++entries_[fid];
+}
+
+void
+ExecutionProfile::merge(const ExecutionProfile &other)
+{
+    for (const auto &[edge, w] : other.callEdges_)
+        callEdges_[edge] += w;
+    for (const auto &[fid, n] : other.entries_)
+        entries_[fid] += n;
+    for (const auto &[fid, edges] : other.blockEdges_) {
+        auto &mine = blockEdges_[fid];
+        for (const auto &[e, w] : edges)
+            mine[e] += w;
+    }
+    for (const auto &[site, tn] : other.decisions_) {
+        auto &d = decisions_[site];
+        d.first += tn.first;
+        d.second += tn.second;
+    }
+    totalCalls_ += other.totalCalls_;
+}
+
+std::uint64_t
+ExecutionProfile::callWeight(FunctionId caller, FunctionId callee) const
+{
+    auto it = callEdges_.find({caller, callee});
+    return it == callEdges_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ExecutionProfile::entryCount(FunctionId fid) const
+{
+    auto it = entries_.find(fid);
+    return it == entries_.end() ? 0 : it->second;
+}
+
+const ExecutionProfile::BlockEdgeMap &
+ExecutionProfile::blockEdges(FunctionId fid) const
+{
+    auto it = blockEdges_.find(fid);
+    return it == blockEdges_.end() ? emptyEdges_ : it->second;
+}
+
+double
+ExecutionProfile::decisionBias(FunctionId fid, std::uint16_t site) const
+{
+    auto it = decisions_.find({fid, site});
+    if (it == decisions_.end())
+        return 0.5;
+    const auto [taken, not_taken] = it->second;
+    const auto total = taken + not_taken;
+    return total == 0
+        ? 0.5
+        : static_cast<double>(taken) / static_cast<double>(total);
+}
+
+std::size_t
+ExecutionProfile::distinctCallees(FunctionId fid) const
+{
+    std::size_t n = 0;
+    auto it = callEdges_.lower_bound({fid, 0});
+    for (; it != callEdges_.end() && it->first.first == fid; ++it)
+        ++n;
+    return n;
+}
+
+CallGraphAnalyzer::CallGraphAnalyzer(const ExecutionProfile &profile)
+{
+    FunctionId current = invalidFunctionId;
+    std::size_t count = 0;
+    for (const auto &[edge, w] : profile.callEdges()) {
+        (void)w;
+        if (edge.first != current) {
+            if (current != invalidFunctionId)
+                calleeCounts_.push_back(count);
+            current = edge.first;
+            count = 0;
+        }
+        ++count;
+    }
+    if (current != invalidFunctionId)
+        calleeCounts_.push_back(count);
+}
+
+double
+CallGraphAnalyzer::fractionWithFewerCalleesThan(std::size_t n) const
+{
+    if (calleeCounts_.empty())
+        return 1.0;
+    const auto below = std::count_if(
+        calleeCounts_.begin(), calleeCounts_.end(),
+        [n](std::size_t c) { return c < n; });
+    return static_cast<double>(below)
+        / static_cast<double>(calleeCounts_.size());
+}
+
+std::size_t
+CallGraphAnalyzer::maxDistinctCallees() const
+{
+    if (calleeCounts_.empty())
+        return 0;
+    return *std::max_element(calleeCounts_.begin(), calleeCounts_.end());
+}
+
+} // namespace cgp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ExecutionProfile: dynamic weights gathered from a profiling replay
+ * of a trace, feeding the OM (Pettis-Hansen) layout pass — exactly
+ * the feedback file the paper generates by running wisc-prof and
+ * wisc+tpch through instrumented binaries.
+ */
+
+#ifndef CGP_CODEGEN_PROFILE_HH
+#define CGP_CODEGEN_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cgp
+{
+
+class ExecutionProfile
+{
+  public:
+    /** Record one dynamic call edge caller -> callee. */
+    void onCall(FunctionId caller, FunctionId callee);
+
+    /** Record a block-to-block transition inside @p fid. */
+    void onBlockEdge(FunctionId fid, std::uint16_t from,
+                     std::uint16_t to);
+
+    /** Record a decision-site outcome inside @p fid. */
+    void onDecision(FunctionId fid, std::uint16_t site, bool taken);
+
+    /** Record a function entry (including trace roots). */
+    void onEntry(FunctionId fid);
+
+    /** Accumulate another profile into this one (paper merges two). */
+    void merge(const ExecutionProfile &other);
+
+    /** Weight of a call edge (0 if never seen). */
+    std::uint64_t callWeight(FunctionId caller, FunctionId callee) const;
+
+    /** All call edges with weights. */
+    const std::map<std::pair<FunctionId, FunctionId>, std::uint64_t> &
+    callEdges() const
+    {
+        return callEdges_;
+    }
+
+    /** Entry count of a function (0 if never entered). */
+    std::uint64_t entryCount(FunctionId fid) const;
+
+    /** Block edges of one function: ((from, to) -> weight). */
+    using BlockEdgeMap =
+        std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t>;
+    const BlockEdgeMap &blockEdges(FunctionId fid) const;
+
+    /** Taken fraction of a decision site; 0.5 when unobserved. */
+    double decisionBias(FunctionId fid, std::uint16_t site) const;
+
+    /** Number of distinct callees observed for @p fid. */
+    std::size_t distinctCallees(FunctionId fid) const;
+
+    /** Total dynamic calls recorded. */
+    std::uint64_t totalCalls() const { return totalCalls_; }
+
+  private:
+    std::map<std::pair<FunctionId, FunctionId>, std::uint64_t> callEdges_;
+    std::unordered_map<FunctionId, std::uint64_t> entries_;
+    std::unordered_map<FunctionId, BlockEdgeMap> blockEdges_;
+    std::map<std::pair<FunctionId, std::uint16_t>,
+             std::pair<std::uint64_t, std::uint64_t>> decisions_;
+    std::uint64_t totalCalls_ = 0;
+
+    static const BlockEdgeMap emptyEdges_;
+};
+
+/**
+ * Post-hoc analysis of a profile's call graph: reproduces the ATOM
+ * measurement from paper §3.2 ("80% of the functions have calls to
+ * fewer than 8 distinct functions") for our workloads.
+ */
+class CallGraphAnalyzer
+{
+  public:
+    explicit CallGraphAnalyzer(const ExecutionProfile &profile);
+
+    /** Functions observed making at least one call. */
+    std::size_t callerCount() const { return calleeCounts_.size(); }
+
+    /**
+     * Fraction of calling functions with fewer than @p n distinct
+     * callees.
+     */
+    double fractionWithFewerCalleesThan(std::size_t n) const;
+
+    /** Largest distinct-callee count observed. */
+    std::size_t maxDistinctCallees() const;
+
+  private:
+    std::vector<std::size_t> calleeCounts_;
+};
+
+} // namespace cgp
+
+#endif // CGP_CODEGEN_PROFILE_HH

@@ -1,0 +1,345 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+Core::Core(InstructionExpander &stream, MemoryHierarchy &mem,
+           InstrPrefetcher *prefetcher, const CoreConfig &config)
+    : stream_(stream), mem_(mem), prefetcher_(prefetcher),
+      config_(config), branch_(config.branch), stats_("core")
+{
+    stats_.addCounter("committed_instrs", &committed_,
+                      "instructions committed");
+    stats_.addCounter("fetch_icache_stall_cycles",
+                      &fetchIcacheStallCycles_,
+                      "cycles fetch waited on an I-cache fill");
+    stats_.addCounter("fetch_branch_stall_cycles",
+                      &fetchBranchStallCycles_,
+                      "cycles fetch waited on a mispredict resolve");
+    stats_.addCounter("fetch_queue_full_cycles", &fetchQueueFullCycles_,
+                      "cycles fetch stopped on a full fetch queue");
+    stats_.addCounter("rob_full_events", &robFullEvents_,
+                      "dispatch attempts blocked by full window");
+    stats_.addCounter("idle_cycles", &idleCycles_,
+                      "cycles with no fetch, issue or commit activity");
+    stats_.addFormula(
+        "ipc", [this]() { return ipc(); },
+        "committed instructions per cycle");
+    stats_.addChild(&branch_.stats());
+}
+
+bool
+Core::peek(DynInst &out)
+{
+    if (!pending_.has_value()) {
+        DynInst inst;
+        if (streamDone_ || !stream_.next(inst)) {
+            streamDone_ = true;
+            return false;
+        }
+        pending_ = inst;
+    }
+    out = *pending_;
+    return true;
+}
+
+void
+Core::consume()
+{
+    cgp_assert(pending_.has_value(), "consume without peek");
+    pending_.reset();
+}
+
+unsigned
+Core::destReg(const DynInst &inst)
+{
+    switch (inst.kind) {
+      case InstKind::Store:
+      case InstKind::Jump:
+      case InstKind::CondBranch:
+      case InstKind::Return:
+        return 0; // r0: always-ready sink
+      default:
+        break;
+    }
+    const std::uint64_t h = (inst.pc >> 2) * 0x9e3779b97f4a7c15ull;
+    return 1 + static_cast<unsigned>((h >> 7) % (numRegs - 1));
+}
+
+void
+Core::srcRegs(const DynInst &inst, unsigned &a, unsigned &b)
+{
+    const std::uint64_t h = (inst.pc >> 2) * 0xc2b2ae3d27d4eb4full;
+    a = static_cast<unsigned>((h >> 11) % numRegs);
+    b = static_cast<unsigned>((h >> 23) % numRegs);
+}
+
+void
+Core::doCommit()
+{
+    unsigned done = 0;
+    while (done < config_.commitWidth && !rob_.empty()) {
+        RobEntry &head = rob_.front();
+        if (!head.issued || head.doneCycle > now_)
+            break;
+        if (head.inst.kind == InstKind::Load ||
+            head.inst.kind == InstKind::Store) {
+            cgp_assert(lsqUsed_ > 0, "LSQ underflow");
+            --lsqUsed_;
+        }
+        ++committed_;
+        rob_.pop_front();
+        ++done;
+    }
+}
+
+void
+Core::doIssue()
+{
+    unsigned issued = 0;
+    unsigned alus = config_.intAlus;
+    unsigned muls = config_.multipliers;
+    unsigned ports = config_.memPorts;
+
+    for (RobEntry &e : rob_) {
+        if (issued >= config_.issueWidth)
+            break;
+        if (e.issued)
+            continue;
+
+        unsigned s1, s2;
+        srcRegs(e.inst, s1, s2);
+        const Cycle operands = std::max(regReady_[s1], regReady_[s2]);
+        if (operands > now_)
+            continue;
+
+        Cycle done = 0;
+        switch (e.inst.kind) {
+          case InstKind::IntOp:
+          case InstKind::Jump:
+          case InstKind::CondBranch:
+          case InstKind::Call:
+          case InstKind::Return:
+            if (alus == 0)
+                continue;
+            --alus;
+            done = now_ + 1;
+            break;
+          case InstKind::MulOp:
+            if (muls == 0)
+                continue;
+            --muls;
+            done = now_ + config_.mulLatency;
+            break;
+          case InstKind::Load: {
+            if (ports == 0)
+                continue;
+            --ports;
+            const auto res = mem_.l1d().access(
+                e.inst.memAddr, now_, AccessSource::DemandData,
+                false);
+            done = res.readyCycle;
+            break;
+          }
+          case InstKind::Store: {
+            if (ports == 0)
+                continue;
+            --ports;
+            mem_.l1d().access(e.inst.memAddr, now_,
+                              AccessSource::DemandData, true);
+            done = now_ + 1; // retires via the store buffer
+            break;
+          }
+        }
+
+        e.issued = true;
+        e.doneCycle = done;
+        ++issued;
+
+        const unsigned d = destReg(e.inst);
+        if (d != 0)
+            regReady_[d] = std::max(regReady_[d], done);
+
+        // A blocking mispredict resolves when it executes; fetch
+        // restarts after the redirect bubble.
+        if (blockedOnSeq_.has_value() && *blockedOnSeq_ == e.seq) {
+            blockedOnSeq_.reset();
+            fetchResumeCycle_ = std::max(fetchResumeCycle_,
+                                         done + config_.redirectPenalty);
+        }
+    }
+}
+
+void
+Core::doDispatch()
+{
+    unsigned moved = 0;
+    while (moved < config_.dispatchWidth && !fetchQueue_.empty()) {
+        if (rob_.size() >= config_.rsSize) {
+            ++robFullEvents_;
+            break;
+        }
+        FetchEntry &fe = fetchQueue_.front();
+        const bool is_mem = fe.inst.kind == InstKind::Load ||
+            fe.inst.kind == InstKind::Store;
+        if (is_mem && lsqUsed_ >= config_.lsqSize)
+            break;
+        if (is_mem)
+            ++lsqUsed_;
+        RobEntry re;
+        re.inst = fe.inst;
+        re.seq = fe.seq;
+        rob_.push_back(re);
+        fetchQueue_.pop_front();
+        ++moved;
+    }
+}
+
+bool
+Core::predictControl(const DynInst &inst)
+{
+    BranchUnit::Prediction p;
+    bool mispredicted = false;
+
+    switch (inst.kind) {
+      case InstKind::CondBranch: {
+        p = branch_.predictConditional(inst.pc, inst.taken,
+                                       inst.target);
+        const bool dir_wrong = p.taken != inst.taken;
+        const bool tgt_wrong = inst.taken && p.taken &&
+            (!p.targetKnown || p.target != inst.target);
+        mispredicted = dir_wrong || tgt_wrong;
+        break;
+      }
+      case InstKind::Jump:
+        p = branch_.predictJump(inst.pc, inst.target);
+        mispredicted = !p.targetKnown || p.target != inst.target;
+        break;
+      case InstKind::Call:
+        p = branch_.predictCall(inst.pc, inst.target, inst.funcStart);
+        mispredicted = !p.targetKnown || p.target != inst.target;
+        // CGP's call accesses use the *predicted* target (§3.2); no
+        // prediction, no access.
+        if (prefetcher_ != nullptr && p.targetKnown) {
+            prefetcher_->onCall(p.target, inst.funcStart, now_);
+        }
+        break;
+      case InstKind::Return:
+        p = branch_.predictReturn(inst.pc, inst.target);
+        mispredicted = !p.targetKnown || p.target != inst.target;
+        // The modified RAS supplies the returnee's start (§3.2).
+        if (prefetcher_ != nullptr) {
+            prefetcher_->onReturn(p.callerFuncStart, inst.funcStart,
+                                  now_);
+        }
+        break;
+      default:
+        cgp_panic("predictControl on non-control instruction");
+    }
+    return mispredicted;
+}
+
+void
+Core::doFetch()
+{
+    if (blockedOnSeq_.has_value()) {
+        ++fetchBranchStallCycles_;
+        return;
+    }
+    if (now_ < fetchResumeCycle_) {
+        ++fetchIcacheStallCycles_;
+        return;
+    }
+
+    unsigned fetched = 0;
+    while (fetched < config_.fetchWidth) {
+        if (fetchQueue_.size() >= config_.fetchQueueSize) {
+            if (fetched == 0)
+                ++fetchQueueFullCycles_;
+            return;
+        }
+
+        DynInst inst;
+        if (!peek(inst))
+            return;
+
+        // Per-line I-cache access on line change.
+        const Addr line = mem_.l1i().lineAlign(inst.pc);
+        if (!config_.perfectICache && line != lastFetchLine_) {
+            const auto res = mem_.l1i().access(
+                line, now_, AccessSource::DemandFetch, false);
+            lastFetchLine_ = line;
+            if (prefetcher_ != nullptr)
+                prefetcher_->onFetchLine(line, now_);
+            if (!res.hit) {
+                // Stall until the fill arrives; the instruction is
+                // consumed when fetch resumes.
+                fetchResumeCycle_ = res.readyCycle;
+                ++fetchIcacheStallCycles_;
+                return;
+            }
+        }
+
+        consume();
+        FetchEntry fe;
+        fe.inst = inst;
+        fe.seq = ++seqGen_;
+
+        bool end_group = false;
+        if (isControl(inst.kind)) {
+            const bool mispredicted = predictControl(inst);
+            if (mispredicted) {
+                fe.blocksFetch = true;
+                blockedOnSeq_ = fe.seq;
+                end_group = true;
+            } else if (inst.taken) {
+                // Can't fetch past a predicted-taken transfer in the
+                // same cycle.
+                end_group = true;
+            }
+        }
+
+        fetchQueue_.push_back(fe);
+        ++fetched;
+        if (end_group)
+            return;
+    }
+}
+
+void
+Core::run()
+{
+    const Cycle safety_cap = ~0ull;
+    bool work_left = true;
+    while (work_left && now_ < safety_cap) {
+        if (config_.maxInstrs != 0 &&
+            committed_.value() >= config_.maxInstrs) {
+            break;
+        }
+        ++now_;
+        mem_.tick(now_);
+
+        const auto before = committed_.value();
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+
+        if (committed_.value() == before && fetchQueue_.empty() &&
+            rob_.empty()) {
+            DynInst probe;
+            if (!peek(probe) && pending_ == std::nullopt) {
+                work_left = false;
+            } else {
+                ++idleCycles_;
+            }
+        }
+    }
+    mem_.finalize();
+}
+
+} // namespace cgp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trace-driven, cycle-level out-of-order core in the spirit of
+ * SimpleScalar's sim-outorder, configured per paper Table 1:
+ *
+ *   fetch/decode/issue width 4; instruction-fetch queue and
+ *   load/store queue of 16; 64 reservation stations; 4 integer
+ *   adders + 2 multipliers; 4 CPU-side memory ports; 2-level
+ *   2K-entry branch predictor.
+ *
+ * Fetch is fully modeled (per-line I-cache accesses, at most one
+ * taken control transfer per cycle, queue backpressure, stall until
+ * fill on an I-miss, redirect bubble on mispredicts) because the
+ * phenomenon under study — instruction fetch stalls — lives there.
+ * The back end models dependence chains with a register scoreboard
+ * keyed by hashed architectural registers, FU contention, and D-cache
+ * latency through the shared L2 FIFO.  Wrong-path fetch is
+ * approximated by halting fetch from the mispredicted branch until
+ * it resolves plus a redirect penalty (standard for trace-driven
+ * simulation; see DESIGN.md §4.3).
+ */
+
+#ifndef CGP_CPU_CORE_HH
+#define CGP_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "branch/predictor.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/dyninst.hh"
+#include "trace/expand.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace cgp
+{
+
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    unsigned fetchQueueSize = 16;
+    unsigned lsqSize = 16;
+    unsigned rsSize = 64;
+
+    unsigned intAlus = 4;
+    unsigned multipliers = 2;
+    unsigned memPorts = 4;
+    Cycle mulLatency = 3;
+
+    /** Front-end refill bubble after a resolved mispredict. */
+    Cycle redirectPenalty = 2;
+
+    /** All I-fetches hit in one cycle (perf-Icache bars). */
+    bool perfectICache = false;
+
+    /** Stop after this many committed instructions (0 = whole trace). */
+    std::uint64_t maxInstrs = 0;
+
+    BranchPredictorConfig branch;
+};
+
+class Core
+{
+  public:
+    /**
+     * @param stream Instruction source (already bound to a layout).
+     * @param mem The Table 1 memory hierarchy.
+     * @param prefetcher Active instruction prefetcher (may be null).
+     */
+    Core(InstructionExpander &stream, MemoryHierarchy &mem,
+         InstrPrefetcher *prefetcher, const CoreConfig &config);
+
+    /** Run the trace to completion (or maxInstrs). */
+    void run();
+
+    Cycle cycles() const { return now_; }
+    std::uint64_t committedInstrs() const { return committed_.value(); }
+    double
+    ipc() const
+    {
+        return now_ == 0 ? 0.0
+                         : static_cast<double>(committed_.value())
+                             / static_cast<double>(now_);
+    }
+
+    const StatGroup &stats() const { return stats_; }
+    const BranchUnit &branchUnit() const { return branch_; }
+
+  private:
+    struct RobEntry
+    {
+        DynInst inst;
+        bool issued = false;
+        Cycle doneCycle = 0;
+        std::uint64_t seq = 0;
+    };
+
+    struct FetchEntry
+    {
+        DynInst inst;
+        std::uint64_t seq = 0;
+        bool blocksFetch = false; ///< mispredicted control transfer
+    };
+
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Predict + prefetcher hooks for a fetched control transfer. */
+    bool predictControl(const DynInst &inst);
+
+    bool peek(DynInst &out);
+    void consume();
+
+    /** Hashed pseudo-register ids for the dependence model. */
+    static unsigned destReg(const DynInst &inst);
+    static void srcRegs(const DynInst &inst, unsigned &a, unsigned &b);
+
+    InstructionExpander &stream_;
+    MemoryHierarchy &mem_;
+    InstrPrefetcher *prefetcher_;
+    CoreConfig config_;
+    BranchUnit branch_;
+
+    Cycle now_ = 0;
+    std::uint64_t seqGen_ = 0;
+
+    std::deque<FetchEntry> fetchQueue_;
+    std::deque<RobEntry> rob_;
+    unsigned lsqUsed_ = 0;
+
+    std::optional<DynInst> pending_;
+    bool streamDone_ = false;
+
+    Addr lastFetchLine_ = invalidAddr;
+    Cycle fetchResumeCycle_ = 0;
+    /** Sequence number of the unresolved blocking mispredict. */
+    std::optional<std::uint64_t> blockedOnSeq_;
+
+    static constexpr unsigned numRegs = 32;
+    Cycle regReady_[numRegs] = {};
+
+    Counter committed_;
+    Counter fetchIcacheStallCycles_;
+    Counter fetchBranchStallCycles_;
+    Counter fetchQueueFullCycles_;
+    Counter robFullEvents_;
+    Counter idleCycles_;
+    StatGroup stats_;
+};
+
+} // namespace cgp
+
+#endif // CGP_CPU_CORE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Buffer pool with pinning — the heart of the paper's Figure 2
+ * example.  fix() is Find_page_in_buffer_pool: given a large pool
+ * and repeated access, pages are found pinned/resident and
+ * getPageFromDisk is rarely invoked, which is exactly the
+ * predictability CGP's history exploits.
+ */
+
+#ifndef CGP_DB_BUFFER_POOL_HH
+#define CGP_DB_BUFFER_POOL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/common.hh"
+#include "db/context.hh"
+#include "db/volume.hh"
+
+namespace cgp::db
+{
+
+/** Frame replacement policy. */
+enum class Replacement : std::uint8_t
+{
+    Lru,   ///< least-recently-used (default)
+    Clock  ///< second-chance / clock sweep
+};
+
+class BufferPool
+{
+  public:
+    /**
+     * @param frames Pool capacity in pages; size it above the
+     *        database footprint so steady state is memory resident.
+     * @param segment_base Synthetic data address of frame 0 (distinct
+     *        per database instance so D-cache behaviour is faithful).
+     */
+    BufferPool(DbContext &ctx, Volume &volume, std::size_t frames,
+               Addr segment_base = bufferSegmentBase,
+               Replacement policy = Replacement::Lru);
+
+    /**
+     * Pin page @p pid, reading it from the volume if absent.
+     * @return pointer to the 8KB frame.
+     */
+    std::uint8_t *fix(PageId pid);
+
+    /** Unpin; @p dirty marks the frame for write-back. */
+    void unfix(PageId pid, bool dirty);
+
+    /** Write all dirty frames back to the volume. */
+    void flushAll();
+
+    /** Synthetic data address of byte @p offset of page @p pid
+     *  (only valid while fixed); used for trace load/store events. */
+    Addr frameAddr(PageId pid, std::uint32_t offset) const;
+
+    /// @{ Occupancy introspection (for tests).
+    std::size_t residentPages() const { return map_.size(); }
+    std::size_t capacity() const { return frames_.size(); }
+    unsigned pinCount(PageId pid) const;
+    std::uint64_t diskReads() const { return diskReads_; }
+    std::uint64_t evictions() const { return evictions_; }
+    /// @}
+
+  private:
+    struct Frame
+    {
+        PageId pid = invalidPageId;
+        unsigned pins = 0;
+        bool dirty = false;
+        bool referenced = false; ///< clock second-chance bit
+        std::uint64_t lru = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    /** Find the frame of @p pid, or npos. */
+    std::size_t lookup(PageId pid);
+
+    /** Choose and clean an unpinned victim frame. */
+    std::size_t evictVictim();
+
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    DbContext &ctx_;
+    Volume &volume_;
+    Addr segmentBase_;
+    Replacement policy_;
+    std::size_t clockHand_ = 0;
+    std::vector<Frame> frames_;
+    std::unordered_map<PageId, std::size_t> map_;
+    std::vector<std::size_t> freeList_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t diskReads_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_BUFFER_POOL_HH

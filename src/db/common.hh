@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental identifiers and constants of the storage manager.
+ */
+
+#ifndef CGP_DB_COMMON_HH
+#define CGP_DB_COMMON_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cgp::db
+{
+
+/** Page identifier: index into the database "volume". */
+using PageId = std::uint32_t;
+
+constexpr PageId invalidPageId = ~0u;
+
+/** Bytes per database page. */
+constexpr std::uint32_t pageBytes = 8192;
+
+/** Record identifier: page + slot. */
+struct Rid
+{
+    PageId page = invalidPageId;
+    std::uint16_t slot = 0;
+
+    bool
+    operator==(const Rid &o) const
+    {
+        return page == o.page && slot == o.slot;
+    }
+    bool
+    valid() const
+    {
+        return page != invalidPageId;
+    }
+};
+
+/** Transaction identifier. */
+using TxnId = std::uint32_t;
+
+constexpr TxnId invalidTxnId = ~0u;
+
+/** Log sequence number. */
+using Lsn = std::uint64_t;
+
+/** Synthetic data-segment base where buffer frames live. */
+constexpr Addr bufferSegmentBase = 0x1000'0000;
+
+} // namespace cgp::db
+
+#endif // CGP_DB_COMMON_HH

@@ -1,0 +1,134 @@
+#include "db/lock.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+bool
+LockManager::acquire(TxnId txn, PageId pid, LockMode mode)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.lockAcquire);
+    ts.work(22);
+    {
+        TraceScope hs(ctx_.rec, ctx_.fn.lockLatch);
+        hs.work(6);
+    }
+    {
+        TraceScope hs(ctx_.rec, ctx_.fn.lockCompat);
+        hs.work(6);
+    }
+
+    std::vector<Holder> *holders = nullptr;
+    {
+        TraceScope ps(ctx_.rec, ctx_.fn.lockTableProbe);
+        ps.work(9);
+        holders = &table_[pid];
+    }
+
+    {
+        TraceScope gs(ctx_.rec, ctx_.fn.lockGrantCheck);
+        gs.work(11);
+        gs.branch(holders->empty());
+    }
+    {
+        TraceScope hs(ctx_.rec, ctx_.fn.lockHolderScan);
+        hs.work(9);
+    }
+    for (Holder &h : *holders) {
+        if (h.txn == txn) {
+            const bool upgrade =
+                h.mode == LockMode::Shared &&
+                mode == LockMode::Exclusive;
+            ts.branch(upgrade);
+            if (upgrade) {
+                TraceScope us(ctx_.rec, ctx_.fn.lockUpgrade);
+                us.work(11);
+                h.mode = LockMode::Exclusive;
+            }
+            return true;
+        }
+    }
+
+    ts.work(8);
+    holders->push_back({txn, mode});
+    byTxn_[txn].push_back(pid);
+    return true;
+}
+
+void
+LockManager::release(TxnId txn, PageId pid)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.lockRelease);
+    ts.work(15);
+    {
+        TraceScope hs(ctx_.rec, ctx_.fn.lockStats);
+        hs.work(5);
+    }
+    auto it = table_.find(pid);
+    if (it == table_.end())
+        return;
+    auto &holders = it->second;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn](const Holder &h) {
+                                     return h.txn == txn;
+                                 }),
+                  holders.end());
+    if (holders.empty())
+        table_.erase(it);
+    auto bt = byTxn_.find(txn);
+    if (bt != byTxn_.end()) {
+        auto &pages = bt->second;
+        pages.erase(std::remove(pages.begin(), pages.end(), pid),
+                    pages.end());
+    }
+}
+
+void
+LockManager::releaseAll(TxnId txn)
+{
+    auto bt = byTxn_.find(txn);
+    if (bt == byTxn_.end())
+        return;
+    // Copy: release() edits the byTxn_ vector.
+    const std::vector<PageId> pages = bt->second;
+    for (PageId pid : pages)
+        release(txn, pid);
+    byTxn_.erase(txn);
+}
+
+bool
+LockManager::holds(TxnId txn, PageId pid) const
+{
+    auto it = table_.find(pid);
+    if (it == table_.end())
+        return false;
+    for (const Holder &h : it->second) {
+        if (h.txn == txn)
+            return true;
+    }
+    return false;
+}
+
+LockMode
+LockManager::modeOf(TxnId txn, PageId pid) const
+{
+    auto it = table_.find(pid);
+    cgp_assert(it != table_.end(), "modeOf unlocked page");
+    for (const Holder &h : it->second) {
+        if (h.txn == txn)
+            return h.mode;
+    }
+    cgp_panic("txn does not hold the lock");
+}
+
+std::size_t
+LockManager::lockCount(TxnId txn) const
+{
+    auto it = byTxn_.find(txn);
+    return it == byTxn_.end() ? 0 : it->second.size();
+}
+
+} // namespace cgp::db

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Two-phase lock manager at page granularity (S/X modes).  Query
+ * threads in our setup execute serially within a quantum, so waits
+ * never occur, but the full bookkeeping (lock table, holder sets,
+ * upgrades, release-at-commit) runs on every acquisition — it's the
+ * Lock_page / Unlock_page code of the paper's Figure 2.
+ */
+
+#ifndef CGP_DB_LOCK_HH
+#define CGP_DB_LOCK_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "db/common.hh"
+#include "db/context.hh"
+
+namespace cgp::db
+{
+
+enum class LockMode : std::uint8_t
+{
+    Shared,
+    Exclusive
+};
+
+class LockManager
+{
+  public:
+    explicit LockManager(DbContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Acquire (or upgrade) a page lock for @p txn.
+     * @return true (always grantable in serial execution); the
+     *         return type documents intent for future concurrency.
+     */
+    bool acquire(TxnId txn, PageId pid, LockMode mode);
+
+    /** Release one page lock. */
+    void release(TxnId txn, PageId pid);
+
+    /** Release everything @p txn holds (commit/abort). */
+    void releaseAll(TxnId txn);
+
+    /// @{ Introspection for tests.
+    bool holds(TxnId txn, PageId pid) const;
+    LockMode modeOf(TxnId txn, PageId pid) const;
+    std::size_t lockCount(TxnId txn) const;
+    /// @}
+
+  private:
+    struct Holder
+    {
+        TxnId txn;
+        LockMode mode;
+    };
+
+    DbContext &ctx_;
+    std::unordered_map<PageId, std::vector<Holder>> table_;
+    std::unordered_map<TxnId, std::vector<PageId>> byTxn_;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_LOCK_HH

@@ -1,0 +1,74 @@
+#include "db/ops/executor.hh"
+
+namespace cgp::db
+{
+
+std::uint64_t
+Executor::run(const std::string &name, Operator &root,
+              std::size_t query_class)
+{
+    (void)name;
+    const std::size_t qc = query_class % DbFuncs::queryClasses;
+
+    // Per-query front-end work: parse, optimize, plan, schedule.
+    // Each query class walks its own route through the big
+    // front-end code (its own grammar productions and plan shapes).
+    {
+        TraceScope ps(ctx_.rec, ctx_.fn.queryParse);
+        ps.work(40);
+        TraceScope path(ctx_.rec, ctx_.fn.parsePath[qc]);
+        path.work(200);
+        path.branch(true);
+        path.work(140);
+    }
+    {
+        TraceScope os(ctx_.rec, ctx_.fn.queryOptimize);
+        os.work(40);
+        TraceScope path(ctx_.rec, ctx_.fn.optimizePath[qc]);
+        path.work(260);
+        path.branch(false);
+        path.work(180);
+    }
+    {
+        TraceScope bs(ctx_.rec, ctx_.fn.planBuild);
+        bs.work(40);
+        TraceScope path(ctx_.rec, ctx_.fn.planPath[qc]);
+        path.work(120);
+    }
+    {
+        TraceScope ss(ctx_.rec, ctx_.fn.querySchedule);
+        ss.work(60);
+    }
+
+    std::uint64_t rows = 0;
+    {
+        TraceScope es(ctx_.rec, ctx_.fn.execOpen);
+        es.work(20);
+        root.open();
+    }
+    Tuple t;
+    while (true) {
+        TraceScope es(ctx_.rec,
+                      ctx_.fn.execNextC[ctx_.opClass()]);
+        es.work(7);
+        {
+            TraceScope hs(ctx_.rec, ctx_.fn.schedCheck);
+            hs.work(4);
+        }
+        if (!root.next(t))
+            break;
+        {
+            TraceScope ds(ctx_.rec, ctx_.fn.execDeliver);
+            ds.work(9);
+        }
+        ++rows;
+    }
+    {
+        TraceScope es(ctx_.rec, ctx_.fn.execClose);
+        es.work(10);
+        root.close();
+    }
+    return rows;
+}
+
+} // namespace cgp::db

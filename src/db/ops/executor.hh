@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Query execution driver: models the top layers of paper Figure 1
+ * (parser, optimizer, scheduler) as per-query setup work, then pulls
+ * the plan to exhaustion through the Volcano interface.
+ */
+
+#ifndef CGP_DB_OPS_EXECUTOR_HH
+#define CGP_DB_OPS_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "db/ops/operator.hh"
+
+namespace cgp::db
+{
+
+class Executor
+{
+  public:
+    explicit Executor(DbContext &ctx) : ctx_(ctx) {}
+
+    /**
+     * Run a query plan to completion.
+     * @param name Query name (for reporting only).
+     * @param root Plan root.
+     * @param query_class Which route through the parser/optimizer/
+     *        plan-builder code this query exercises (see
+     *        DbFuncs::queryClasses).
+     * @return number of result rows.
+     */
+    std::uint64_t run(const std::string &name, Operator &root,
+                      std::size_t query_class = 0);
+
+  private:
+    DbContext &ctx_;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_OPS_EXECUTOR_HH

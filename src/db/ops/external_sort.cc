@@ -1,0 +1,155 @@
+#include "db/ops/external_sort.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+ExternalSort::ExternalSort(DbContext &ctx, BufferPool &pool,
+                           Volume &volume, LockManager &locks,
+                           WriteAheadLog &log, Operator &child,
+                           TxnId txn, std::size_t key_col,
+                           std::size_t run_tuples, bool descending)
+    : ctx_(ctx), pool_(pool), volume_(volume), locks_(locks),
+      log_(log), child_(child), txn_(txn), keyCol_(key_col),
+      runTuples_(run_tuples), descending_(descending)
+{
+    cgp_assert(run_tuples >= 2, "sort buffer too small");
+}
+
+void
+ExternalSort::buildRuns()
+{
+    runs_.clear();
+    std::vector<Tuple> buffer;
+    buffer.reserve(runTuples_);
+
+    auto flush = [this, &buffer]() {
+        if (buffer.empty())
+            return;
+        {
+            TraceScope ss(ctx_.rec, ctx_.fn.sortOpen);
+            ss.work(20);
+            auto cmp = [this](const Tuple &a, const Tuple &b) {
+                TraceScope cs(ctx_.rec, ctx_.fn.sortCompare);
+                cs.work(6);
+                const auto ka = a.getInt(keyCol_);
+                const auto kb = b.getInt(keyCol_);
+                return descending_ ? ka > kb : ka < kb;
+            };
+            std::stable_sort(buffer.begin(), buffer.end(), cmp);
+        }
+        // Materialize the sorted run through Create_rec.
+        runs_.push_back(std::make_unique<HeapFile>(
+            ctx_, pool_, volume_, locks_, log_, child_.schema()));
+        for (const Tuple &t : buffer)
+            runs_.back()->createRec(txn_, t);
+        buffer.clear();
+    };
+
+    Tuple t;
+    while (child_.next(t)) {
+        buffer.push_back(t);
+        if (buffer.size() >= runTuples_)
+            flush();
+    }
+    flush();
+}
+
+void
+ExternalSort::advance(std::size_t i)
+{
+    Tuple t;
+    if (cursors_[i] != nullptr && cursors_[i]->next(t)) {
+        heads_[i] = t;
+    } else {
+        heads_[i].reset();
+        if (cursors_[i] != nullptr) {
+            cursors_[i]->close();
+            cursors_[i].reset();
+        }
+    }
+}
+
+void
+ExternalSort::startMerge()
+{
+    cursors_.clear();
+    heads_.assign(runs_.size(), std::nullopt);
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        cursors_.push_back(
+            std::make_unique<HeapFile::Scan>(*runs_[i], txn_));
+        advance(i);
+    }
+}
+
+void
+ExternalSort::open()
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortOpen);
+    ts.work(18);
+    child_.open();
+    buildRuns();
+    startMerge();
+    opened_ = true;
+}
+
+bool
+ExternalSort::next(Tuple &out)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortNext);
+    ts.work(6);
+    cgp_assert(opened_, "next() before open()");
+
+    // K-way merge: pick the best head.
+    std::size_t best = heads_.size();
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+        if (!heads_[i].has_value())
+            continue;
+        if (best == heads_.size()) {
+            best = i;
+            continue;
+        }
+        TraceScope cs(ctx_.rec, ctx_.fn.sortCompare);
+        cs.work(6);
+        const auto ki = heads_[i]->getInt(keyCol_);
+        const auto kb = heads_[best]->getInt(keyCol_);
+        if (descending_ ? ki > kb : ki < kb)
+            best = i;
+    }
+    if (best == heads_.size())
+        return false;
+    out = *heads_[best];
+    advance(best);
+    return true;
+}
+
+void
+ExternalSort::close()
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortClose);
+    ts.work(5);
+    for (auto &c : cursors_) {
+        if (c != nullptr)
+            c->close();
+    }
+    cursors_.clear();
+    heads_.clear();
+    child_.close();
+    opened_ = false;
+}
+
+void
+ExternalSort::rewind()
+{
+    // Runs are already materialized and sorted: restart the merge.
+    for (auto &c : cursors_) {
+        if (c != nullptr)
+            c->close();
+    }
+    startMerge();
+}
+
+} // namespace cgp::db

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * External merge sort: builds sorted runs, materializes each run as
+ * a temporary heap file through Create_rec (the paper's Figure 2
+ * entry point — its intro names "sorted runs" as one of the
+ * operations that routinely invoke it), then k-way merges the runs.
+ */
+
+#ifndef CGP_DB_OPS_EXTERNAL_SORT_HH
+#define CGP_DB_OPS_EXTERNAL_SORT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "db/heapfile.hh"
+#include "db/ops/operator.hh"
+#include "db/txn.hh"
+
+namespace cgp::db
+{
+
+class ExternalSort : public Operator
+{
+  public:
+    /**
+     * @param run_tuples In-memory run size in tuples (the "sort
+     *        buffer"); smaller values force more runs and a wider
+     *        merge.
+     */
+    ExternalSort(DbContext &ctx, BufferPool &pool, Volume &volume,
+                 LockManager &locks, WriteAheadLog &log,
+                 Operator &child, TxnId txn, std::size_t key_col,
+                 std::size_t run_tuples = 256,
+                 bool descending = false);
+
+    void open() override;
+    bool next(Tuple &out) override;
+    void close() override;
+    void rewind() override;
+    const Schema *schema() const override { return child_.schema(); }
+
+    std::size_t runCount() const { return runs_.size(); }
+
+  private:
+    /** Consume the child into sorted runs on "disk". */
+    void buildRuns();
+
+    /** Prime the merge cursors. */
+    void startMerge();
+
+    /** Refill cursor @p i from its run. */
+    void advance(std::size_t i);
+
+    DbContext &ctx_;
+    BufferPool &pool_;
+    Volume &volume_;
+    LockManager &locks_;
+    WriteAheadLog &log_;
+    Operator &child_;
+    TxnId txn_;
+    std::size_t keyCol_;
+    std::size_t runTuples_;
+    bool descending_;
+
+    std::vector<std::unique_ptr<HeapFile>> runs_;
+    std::vector<std::unique_ptr<HeapFile::Scan>> cursors_;
+    std::vector<std::optional<Tuple>> heads_;
+    bool opened_ = false;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_OPS_EXTERNAL_SORT_HH

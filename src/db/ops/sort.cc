@@ -1,0 +1,132 @@
+#include "db/ops/sort.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+Sort::Sort(DbContext &ctx, Operator &child, std::size_t key_col,
+           bool descending, std::uint64_t limit)
+    : ctx_(ctx), child_(child), keyCol_(key_col),
+      descending_(descending), limit_(limit)
+{
+}
+
+void
+Sort::materialize()
+{
+    rows_.clear();
+    Tuple t;
+    while (child_.next(t))
+        rows_.push_back(tracedCopy(ctx_, t));
+
+    auto cmp = [this](const Tuple &a, const Tuple &b) {
+        TraceScope cs(ctx_.rec, ctx_.fn.sortCompare);
+        cs.work(6);
+        const auto ka = a.getInt(keyCol_);
+        const auto kb = b.getInt(keyCol_);
+        return descending_ ? ka > kb : ka < kb;
+    };
+    std::stable_sort(rows_.begin(), rows_.end(), cmp);
+    cursor_ = 0;
+}
+
+void
+Sort::open()
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortOpen);
+    ts.work(22);
+    child_.open();
+    materialize();
+}
+
+bool
+Sort::next(Tuple &out)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortNext);
+    ts.work(5);
+    if (cursor_ >= rows_.size())
+        return false;
+    if (limit_ != 0 && cursor_ >= limit_)
+        return false;
+    out = rows_[cursor_++];
+    return true;
+}
+
+void
+Sort::close()
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.sortClose);
+    ts.work(4);
+    child_.close();
+    rows_.clear();
+}
+
+void
+Sort::rewind()
+{
+    cursor_ = 0;
+}
+
+namespace
+{
+
+Schema
+projectSchema(const Schema &in, const std::vector<std::size_t> &cols)
+{
+    std::vector<Column> out;
+    for (std::size_t c : cols)
+        out.push_back(in.column(c));
+    return Schema(std::move(out));
+}
+
+} // anonymous namespace
+
+Project::Project(DbContext &ctx, Operator &child,
+                 std::vector<std::size_t> cols)
+    : ctx_(ctx), child_(child), cols_(std::move(cols)),
+      outSchema_(projectSchema(*child.schema(), cols_))
+{
+}
+
+void
+Project::open()
+{
+    child_.open();
+}
+
+bool
+Project::next(Tuple &out)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.projNext);
+    ts.work(6);
+    Tuple t;
+    if (!child_.next(t))
+        return false;
+    Tuple p(&outSchema_);
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+        const Column &c = outSchema_.column(i);
+        if (c.type == ColumnType::Int32)
+            p.setInt(i, t.getInt(cols_[i]));
+        else
+            p.setString(i, t.getString(cols_[i]));
+    }
+    out = p;
+    return true;
+}
+
+void
+Project::close()
+{
+    child_.close();
+}
+
+void
+Project::rewind()
+{
+    child_.rewind();
+}
+
+} // namespace cgp::db

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Crash recovery: a redo-only restart pass over the write-ahead log.
+ *
+ * Analysis scans the log to split transactions into winners (a
+ * Commit record exists) and losers; redo replays the winners'
+ * after-images into the volume in LSN order.  Because our pages are
+ * append-only slotted pages and the log carries full after-images,
+ * redo is idempotent: an insert whose slot already exists (the page
+ * made it to the volume before the crash) is re-applied as an
+ * overwrite.  Losers' effects are simply not replayed (no undo pass
+ * is needed on a volume restored from redo of winners only... their
+ * dirty pages never reached the volume in our no-steal buffer pool
+ * unless evicted; evicted loser writes are overwritten by replay of
+ * the page's winner history).
+ */
+
+#ifndef CGP_DB_RECOVERY_HH
+#define CGP_DB_RECOVERY_HH
+
+#include <cstdint>
+#include <set>
+
+#include "db/buffer_pool.hh"
+#include "db/context.hh"
+#include "db/volume.hh"
+#include "db/wal.hh"
+
+namespace cgp::db
+{
+
+class RecoveryManager
+{
+  public:
+    RecoveryManager(DbContext &ctx, Volume &volume,
+                    WriteAheadLog &log)
+        : ctx_(ctx), volume_(volume), log_(log)
+    {
+    }
+
+    struct Stats
+    {
+        std::uint32_t winners = 0;   ///< committed transactions
+        std::uint32_t losers = 0;    ///< uncommitted transactions
+        std::uint64_t redone = 0;    ///< records replayed
+        std::uint64_t skipped = 0;   ///< loser records not replayed
+    };
+
+    /**
+     * Restart after a crash: replay committed work into the volume
+     * through @p pool, then flush.
+     */
+    Stats recover(BufferPool &pool);
+
+  private:
+    DbContext &ctx_;
+    Volume &volume_;
+    WriteAheadLog &log_;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_RECOVERY_HH

@@ -1,0 +1,126 @@
+#include "db/tuple.hh"
+
+#include <algorithm>
+
+namespace cgp::db
+{
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns))
+{
+    offsets_.reserve(columns_.size());
+    std::uint16_t off = 0;
+    for (auto &c : columns_) {
+        if (c.type == ColumnType::Int32)
+            c.width = 4;
+        cgp_assert(c.width > 0, "zero-width column ", c.name);
+        offsets_.push_back(off);
+        off = static_cast<std::uint16_t>(off + c.width);
+    }
+    recordBytes_ = off;
+}
+
+const Column &
+Schema::column(std::size_t i) const
+{
+    cgp_assert(i < columns_.size(), "column index out of range");
+    return columns_[i];
+}
+
+std::size_t
+Schema::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == name)
+            return i;
+    }
+    cgp_panic("unknown column '", name, "'");
+}
+
+std::uint16_t
+Schema::offsetOf(std::size_t i) const
+{
+    cgp_assert(i < offsets_.size(), "column index out of range");
+    return offsets_[i];
+}
+
+Tuple::Tuple(const Schema *schema)
+    : schema_(schema), bytes_(schema->recordBytes(), 0)
+{
+}
+
+Tuple::Tuple(const Schema *schema, const std::uint8_t *bytes)
+    : schema_(schema),
+      bytes_(bytes, bytes + schema->recordBytes())
+{
+}
+
+void
+Tuple::setInt(std::size_t col, std::int32_t value)
+{
+    cgp_assert(schema_ != nullptr, "tuple without schema");
+    cgp_assert(schema_->column(col).type == ColumnType::Int32,
+               "setInt on non-int column");
+    std::memcpy(bytes_.data() + schema_->offsetOf(col), &value, 4);
+}
+
+void
+Tuple::setString(std::size_t col, const std::string &value)
+{
+    cgp_assert(schema_ != nullptr, "tuple without schema");
+    const Column &c = schema_->column(col);
+    cgp_assert(c.type == ColumnType::Char,
+               "setString on non-char column");
+    std::uint8_t *dst = bytes_.data() + schema_->offsetOf(col);
+    std::fill(dst, dst + c.width, 0);
+    std::memcpy(dst, value.data(),
+                std::min<std::size_t>(value.size(), c.width));
+}
+
+std::int32_t
+Tuple::getInt(std::size_t col) const
+{
+    cgp_assert(schema_ != nullptr, "tuple without schema");
+    cgp_assert(schema_->column(col).type == ColumnType::Int32,
+               "getInt on non-int column");
+    std::int32_t v;
+    std::memcpy(&v, bytes_.data() + schema_->offsetOf(col), 4);
+    return v;
+}
+
+std::string
+Tuple::getString(std::size_t col) const
+{
+    cgp_assert(schema_ != nullptr, "tuple without schema");
+    const Column &c = schema_->column(col);
+    cgp_assert(c.type == ColumnType::Char,
+               "getString on non-char column");
+    const char *src = reinterpret_cast<const char *>(
+        bytes_.data() + schema_->offsetOf(col));
+    const std::size_t len = ::strnlen(src, c.width);
+    return std::string(src, len);
+}
+
+Schema
+concatSchemas(const Schema &a, const Schema &b)
+{
+    std::vector<Column> cols;
+    for (std::size_t i = 0; i < a.columnCount(); ++i)
+        cols.push_back(a.column(i));
+    for (std::size_t i = 0; i < b.columnCount(); ++i)
+        cols.push_back(b.column(i));
+    return Schema(std::move(cols));
+}
+
+Tuple
+concatTuples(const Schema *out, const Tuple &a, const Tuple &b)
+{
+    Tuple t(out);
+    cgp_assert(a.size() + b.size() == t.size(),
+               "concat width mismatch");
+    std::uint8_t *dst = const_cast<std::uint8_t *>(t.data());
+    std::memcpy(dst, a.data(), a.size());
+    std::memcpy(dst + a.size(), b.data(), b.size());
+    return t;
+}
+
+} // namespace cgp::db

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Schemas and tuples.  Columns are fixed width (INT32 or CHAR(n)) so
+ * records have a static layout — matching the Wisconsin benchmark's
+ * relations and keeping slotted-page arithmetic simple.
+ */
+
+#ifndef CGP_DB_TUPLE_HH
+#define CGP_DB_TUPLE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+enum class ColumnType : std::uint8_t
+{
+    Int32,
+    Char ///< fixed-width string
+};
+
+struct Column
+{
+    std::string name;
+    ColumnType type = ColumnType::Int32;
+    std::uint16_t width = 4; ///< bytes (4 for Int32)
+};
+
+class Schema
+{
+  public:
+    Schema() = default;
+    explicit Schema(std::vector<Column> columns);
+
+    std::size_t columnCount() const { return columns_.size(); }
+    const Column &column(std::size_t i) const;
+
+    /** Index of a named column; panics if absent. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Byte offset of column @p i in a record. */
+    std::uint16_t offsetOf(std::size_t i) const;
+
+    /** Total record width in bytes. */
+    std::uint16_t recordBytes() const { return recordBytes_; }
+
+  private:
+    std::vector<Column> columns_;
+    std::vector<std::uint16_t> offsets_;
+    std::uint16_t recordBytes_ = 0;
+};
+
+/**
+ * An owned, schema-typed record.  Values live in a flat byte vector
+ * in record layout, so a tuple can be memcpy'ed into a page slot.
+ */
+class Tuple
+{
+  public:
+    Tuple() = default;
+    explicit Tuple(const Schema *schema);
+
+    /** Wrap raw record bytes (copies them). */
+    Tuple(const Schema *schema, const std::uint8_t *bytes);
+
+    void setInt(std::size_t col, std::int32_t value);
+    void setString(std::size_t col, const std::string &value);
+
+    std::int32_t getInt(std::size_t col) const;
+    std::string getString(std::size_t col) const;
+
+    const std::uint8_t *data() const { return bytes_.data(); }
+    std::uint16_t size() const
+    {
+        return static_cast<std::uint16_t>(bytes_.size());
+    }
+
+    const Schema *schema() const { return schema_; }
+
+  private:
+    const Schema *schema_ = nullptr;
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Concatenate two schemas (for join outputs). */
+Schema concatSchemas(const Schema &a, const Schema &b);
+
+/** Concatenate two tuples under @p out (= concatSchemas(a,b)). */
+Tuple concatTuples(const Schema *out, const Tuple &a, const Tuple &b);
+
+} // namespace cgp::db
+
+#endif // CGP_DB_TUPLE_HH

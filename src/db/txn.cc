@@ -1,0 +1,42 @@
+#include "db/txn.hh"
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+TxnId
+TransactionManager::begin()
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.txnBegin);
+    ts.work(12);
+    const TxnId id = next_++;
+    log_.append(id, LogRecordType::Begin);
+    ++active_;
+    return id;
+}
+
+void
+TransactionManager::commit(TxnId txn)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.txnCommit);
+    ts.work(18);
+    const Lsn lsn = log_.append(txn, LogRecordType::Commit);
+    log_.force(lsn);
+    locks_.releaseAll(txn);
+    cgp_assert(active_ > 0, "commit with no active transactions");
+    --active_;
+}
+
+void
+TransactionManager::abort(TxnId txn)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.txnAbort);
+    ts.work(24);
+    log_.append(txn, LogRecordType::Abort);
+    locks_.releaseAll(txn);
+    cgp_assert(active_ > 0, "abort with no active transactions");
+    --active_;
+}
+
+} // namespace cgp::db

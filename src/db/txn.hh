@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Transactions: id allocation, begin/commit/abort with 2PL release
+ * and log force at commit.
+ */
+
+#ifndef CGP_DB_TXN_HH
+#define CGP_DB_TXN_HH
+
+#include "db/common.hh"
+#include "db/context.hh"
+#include "db/lock.hh"
+#include "db/wal.hh"
+
+namespace cgp::db
+{
+
+class TransactionManager
+{
+  public:
+    TransactionManager(DbContext &ctx, LockManager &locks,
+                       WriteAheadLog &log)
+        : ctx_(ctx), locks_(locks), log_(log)
+    {
+    }
+
+    /** Start a transaction; logs a Begin record. */
+    TxnId begin();
+
+    /** Commit: force the log, release all locks. */
+    void commit(TxnId txn);
+
+    /** Abort: log, release locks (no undo: aborts only in tests). */
+    void abort(TxnId txn);
+
+    std::uint32_t active() const { return active_; }
+
+  private:
+    DbContext &ctx_;
+    LockManager &locks_;
+    WriteAheadLog &log_;
+    TxnId next_ = 1;
+    std::uint32_t active_ = 0;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_TXN_HH

@@ -1,0 +1,57 @@
+#include "db/wal.hh"
+
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+Lsn
+WriteAheadLog::append(TxnId txn, LogRecordType type, PageId page,
+                      std::uint16_t slot, const std::uint8_t *bytes,
+                      std::uint16_t len)
+{
+    const Lsn lsn = append(txn, type, page, slot);
+    cgp_assert(bytes != nullptr && len > 0, "empty redo payload");
+    records_.back().payload.assign(bytes, bytes + len);
+    return lsn;
+}
+
+Lsn
+WriteAheadLog::append(TxnId txn, LogRecordType type, PageId page,
+                      std::uint16_t slot)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.logAppend);
+    ts.work(10);
+    {
+        TraceScope hs(ctx_.rec, ctx_.fn.logMutex);
+        hs.work(5);
+    }
+    {
+        TraceScope rs(ctx_.rec, ctx_.fn.logReserve);
+        rs.work(5);
+    }
+    {
+        TraceScope cs(ctx_.rec, ctx_.fn.logCopy);
+        cs.work(6);
+    }
+    LogRecord r;
+    r.lsn = next_++;
+    r.txn = txn;
+    r.type = type;
+    r.page = page;
+    r.slot = slot;
+    records_.push_back(r);
+    return r.lsn;
+}
+
+void
+WriteAheadLog::force(Lsn lsn)
+{
+    TraceScope ts(ctx_.rec, ctx_.fn.logForce);
+    ts.work(40);
+    cgp_assert(lsn < next_, "forcing an unwritten LSN");
+    if (lsn > durable_)
+        durable_ = lsn;
+}
+
+} // namespace cgp::db

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Write-ahead log: append-only records with LSNs and a force()
+ * operation at commit.  Recovery itself is out of scope (the paper
+ * never crashes), but the logging code paths run on every update,
+ * contributing their share of the instruction footprint.
+ */
+
+#ifndef CGP_DB_WAL_HH
+#define CGP_DB_WAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "db/common.hh"
+#include "db/context.hh"
+
+namespace cgp::db
+{
+
+enum class LogRecordType : std::uint8_t
+{
+    Begin,
+    Update,
+    Insert,
+    Commit,
+    Abort
+};
+
+struct LogRecord
+{
+    Lsn lsn = 0;
+    TxnId txn = invalidTxnId;
+    LogRecordType type = LogRecordType::Update;
+    PageId page = invalidPageId;
+    std::uint16_t slot = 0;
+    /** After-image of the record (Insert/Update), for redo. */
+    std::vector<std::uint8_t> payload;
+};
+
+class WriteAheadLog
+{
+  public:
+    explicit WriteAheadLog(DbContext &ctx) : ctx_(ctx) {}
+
+    /** Append a record; returns its LSN. */
+    Lsn append(TxnId txn, LogRecordType type, PageId page = invalidPageId,
+               std::uint16_t slot = 0);
+
+    /** Append a record with an after-image payload (redo data). */
+    Lsn append(TxnId txn, LogRecordType type, PageId page,
+               std::uint16_t slot, const std::uint8_t *bytes,
+               std::uint16_t len);
+
+    /** Force the log up to @p lsn (commit durability point). */
+    void force(Lsn lsn);
+
+    Lsn durableLsn() const { return durable_; }
+    Lsn tailLsn() const { return next_; }
+    const std::vector<LogRecord> &records() const { return records_; }
+
+  private:
+    DbContext &ctx_;
+    std::vector<LogRecord> records_;
+    Lsn next_ = 1;
+    Lsn durable_ = 0;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_WAL_HH

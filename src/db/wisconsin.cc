@@ -1,0 +1,240 @@
+#include "db/wisconsin.hh"
+
+#include <vector>
+
+#include "db/ops/executor.hh"
+#include "db/ops/index_select.hh"
+#include "db/ops/joins.hh"
+#include "db/ops/scan.hh"
+#include "util/logging.hh"
+
+namespace cgp::db
+{
+
+namespace
+{
+
+/** Wisconsin string columns: cyclic letter codes. */
+std::string
+wiscString(std::uint32_t v)
+{
+    std::string s = "AAAAAAA";
+    for (int i = 6; i >= 0 && v > 0; --i) {
+        s[static_cast<std::size_t>(i)] =
+            static_cast<char>('A' + (v % 26));
+        v /= 26;
+    }
+    return s;
+}
+
+void
+loadTable(DbSystem &db, const std::string &name, std::uint32_t n,
+          Rng &rng)
+{
+    TableInfo &t = db.createTable(name, Wisconsin::schema());
+    const Schema *s = t.schema.get();
+
+    // unique1: random permutation of 0..n-1; unique2: sequential.
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        perm[i] = i;
+    rng.shuffle(perm);
+
+    const TxnId txn = db.txns().begin();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t u1 = perm[i];
+        Tuple tup(s);
+        tup.setInt(0, static_cast<std::int32_t>(u1));       // unique1
+        tup.setInt(1, static_cast<std::int32_t>(i));        // unique2
+        tup.setInt(2, static_cast<std::int32_t>(u1 % 2));   // two
+        tup.setInt(3, static_cast<std::int32_t>(u1 % 4));   // four
+        tup.setInt(4, static_cast<std::int32_t>(u1 % 10));  // ten
+        tup.setInt(5, static_cast<std::int32_t>(u1 % 20));  // twenty
+        tup.setInt(6, static_cast<std::int32_t>(u1 % 100)); // onePercent
+        tup.setInt(7, static_cast<std::int32_t>(u1 % 10));  // tenPercent
+        tup.setInt(8, static_cast<std::int32_t>(u1 % 5));   // twentyPercent
+        tup.setInt(9, static_cast<std::int32_t>(u1 % 2));   // fiftyPercent
+        tup.setInt(10, static_cast<std::int32_t>(u1));      // unique3
+        tup.setInt(11,
+                   static_cast<std::int32_t>((u1 % 100) * 2)); // evenOnePercent
+        tup.setInt(12,
+                   static_cast<std::int32_t>((u1 % 100) * 2 + 1)); // oddOnePercent
+        tup.setString(13, wiscString(u1));                  // stringu1
+        tup.setString(14, wiscString(i));                   // stringu2
+        tup.setString(15, wiscString(u1 % 4));              // string4
+        db.insertRow(txn, name, tup);
+    }
+    db.txns().commit(txn);
+}
+
+} // anonymous namespace
+
+Schema
+Wisconsin::schema()
+{
+    return Schema({
+        {"unique1", ColumnType::Int32, 4},
+        {"unique2", ColumnType::Int32, 4},
+        {"two", ColumnType::Int32, 4},
+        {"four", ColumnType::Int32, 4},
+        {"ten", ColumnType::Int32, 4},
+        {"twenty", ColumnType::Int32, 4},
+        {"onePercent", ColumnType::Int32, 4},
+        {"tenPercent", ColumnType::Int32, 4},
+        {"twentyPercent", ColumnType::Int32, 4},
+        {"fiftyPercent", ColumnType::Int32, 4},
+        {"unique3", ColumnType::Int32, 4},
+        {"evenOnePercent", ColumnType::Int32, 4},
+        {"oddOnePercent", ColumnType::Int32, 4},
+        {"stringu1", ColumnType::Char, 8},
+        {"stringu2", ColumnType::Char, 8},
+        {"string4", ColumnType::Char, 8},
+    });
+}
+
+void
+Wisconsin::load(DbSystem &db, std::uint32_t n, std::uint64_t seed)
+{
+    cgp_assert(n >= 20, "Wisconsin scale too small");
+    Rng rng(seed);
+    loadTable(db, "big1", n, rng);
+    loadTable(db, "big2", n, rng);
+    loadTable(db, "small", n / 10, rng);
+
+    // Clustered-equivalent index (unique2 = insertion order) and
+    // non-clustered index (unique1 = random permutation).
+    db.createIndex("big1", "unique2");
+    db.createIndex("big1", "unique1");
+    db.createIndex("big2", "unique2");
+    db.createIndex("big2", "unique1");
+}
+
+const char *
+Wisconsin::queryName(int query)
+{
+    switch (query) {
+      case 1:
+        return "wisc-q1: 1% selection, no index";
+      case 2:
+        return "wisc-q2: 10% selection, no index";
+      case 3:
+        return "wisc-q3: 1% selection, clustered index";
+      case 4:
+        return "wisc-q4: 10% selection, clustered index";
+      case 5:
+        return "wisc-q5: 1% selection, non-clustered index";
+      case 6:
+        return "wisc-q6: 10% selection, non-clustered index";
+      case 7:
+        return "wisc-q7: single-tuple select, clustered index";
+      case 9:
+        return "wisc-q9: two-way join (joinAselB)";
+      default:
+        return "wisc-q?: unknown";
+    }
+}
+
+std::uint64_t
+Wisconsin::runQuery(DbSystem &db, int query, std::uint32_t n, Rng &rng)
+{
+    DbContext &ctx = db.ctx();
+    ctx.queryClass = static_cast<std::size_t>(query == 9 ? 7
+                                                         : query - 1);
+    Executor exec(ctx);
+    const TxnId txn = db.txns().begin();
+
+    TableInfo &big1 = db.catalog().table("big1");
+    TableInfo &big2 = db.catalog().table("big2");
+    const std::size_t cu1 = big1.schema->indexOf("unique1");
+    const std::size_t cu2 = big1.schema->indexOf("unique2");
+
+    const auto one_pct =
+        static_cast<std::int32_t>(std::max<std::uint32_t>(n / 100, 1));
+    const auto ten_pct =
+        static_cast<std::int32_t>(std::max<std::uint32_t>(n / 10, 1));
+
+    std::uint64_t rows = 0;
+    switch (query) {
+      case 1: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(one_pct)));
+        Predicate p;
+        p.andInt(cu2, CmpOp::Between, lo, lo + one_pct - 1);
+        SeqScan scan(ctx, *big1.file, txn, p);
+        rows = exec.run("q1", scan, 0);
+        break;
+      }
+      case 2: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(ten_pct)));
+        Predicate p;
+        p.andInt(cu2, CmpOp::Between, lo, lo + ten_pct - 1);
+        SeqScan scan(ctx, *big1.file, txn, p);
+        rows = exec.run("q2", scan, 1);
+        break;
+      }
+      case 3: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(one_pct)));
+        IndexSelect sel(ctx, db.catalog().index("big1", "unique2"),
+                        *big1.file, txn, lo, lo + one_pct - 1);
+        rows = exec.run("q3", sel, 2);
+        break;
+      }
+      case 4: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(ten_pct)));
+        IndexSelect sel(ctx, db.catalog().index("big1", "unique2"),
+                        *big1.file, txn, lo, lo + ten_pct - 1);
+        rows = exec.run("q4", sel, 3);
+        break;
+      }
+      case 5: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(one_pct)));
+        IndexSelect sel(ctx, db.catalog().index("big1", "unique1"),
+                        *big1.file, txn, lo, lo + one_pct - 1);
+        rows = exec.run("q5", sel, 4);
+        break;
+      }
+      case 6: {
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(ten_pct)));
+        IndexSelect sel(ctx, db.catalog().index("big1", "unique1"),
+                        *big1.file, txn, lo, lo + ten_pct - 1);
+        rows = exec.run("q6", sel, 5);
+        break;
+      }
+      case 7: {
+        const auto key =
+            static_cast<std::int32_t>(rng.nextBelow(n));
+        IndexSelect sel(ctx, db.catalog().index("big1", "unique2"),
+                        *big1.file, txn, key, key);
+        rows = exec.run("q7", sel, 6);
+        break;
+      }
+      case 9: {
+        // joinAselB: big1 JOIN big2 ON unique1 with a 10% selection
+        // on big2.unique2, via grace hash join (creates temporary
+        // partitions through Create_rec).
+        const auto lo = static_cast<std::int32_t>(
+            rng.nextBelow(n - static_cast<std::uint32_t>(ten_pct)));
+        Predicate sel;
+        sel.andInt(cu2, CmpOp::Between, lo, lo + ten_pct - 1);
+        SeqScan right(ctx, *big2.file, txn, sel);
+        SeqScan left(ctx, *big1.file, txn, Predicate{});
+        GraceHashJoin join(ctx, db.bufferPool(), db.volume(),
+                           db.locks(), db.log(), left, right, txn,
+                           cu1, cu1, 8);
+        rows = exec.run("q9", join, 7);
+        break;
+      }
+      default:
+        cgp_fatal("Wisconsin query ", query, " not implemented");
+    }
+
+    db.txns().commit(txn);
+    return rows;
+}
+
+} // namespace cgp::db

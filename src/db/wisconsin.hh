@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Wisconsin benchmark (Bitton/DeWitt/Turbyfill 1983): standard
+ * schema generator and the queries the paper runs (1-7 and 9).
+ *
+ * Relations: big1 and big2 with n tuples each, small with n/10.
+ * Indexes: clustered-equivalent on unique2 (insertion order) and
+ * non-clustered on unique1 (random permutation), matching the
+ * benchmark's access-pattern intent.
+ */
+
+#ifndef CGP_DB_WISCONSIN_HH
+#define CGP_DB_WISCONSIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "db/dbsys.hh"
+#include "util/rng.hh"
+
+namespace cgp::db
+{
+
+class Wisconsin
+{
+  public:
+    /** The 16-column Wisconsin schema (strings shortened to 8). */
+    static Schema schema();
+
+    /**
+     * Create and load big1, big2 (n tuples) and small (n/10), then
+     * build the unique1/unique2 indexes on big1 and big2.
+     */
+    static void load(DbSystem &db, std::uint32_t n,
+                     std::uint64_t seed = 0x715c);
+
+    /**
+     * Run one benchmark query.
+     * @param query 1..7 or 9 (the paper's subset).
+     * @param n The loaded scale (selectivity ranges derive from it).
+     * @param rng Source for the query's range placement.
+     * @return result row count.
+     */
+    static std::uint64_t runQuery(DbSystem &db, int query,
+                                  std::uint32_t n, Rng &rng);
+
+    /** Human-readable description of a query number. */
+    static const char *queryName(int query);
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_WISCONSIN_HH

@@ -1,0 +1,97 @@
+#include "harness/report.hh"
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace cgp
+{
+
+void
+writeReport(const SimResult &result, std::ostream &os)
+{
+    TablePrinter t(result.workload + " / " + result.config);
+    t.setHeader({"metric", "value"});
+    t.addRow({"cycles", TablePrinter::num(result.cycles)});
+    t.addRow({"instructions", TablePrinter::num(result.instrs)});
+    t.addRow({"IPC", TablePrinter::fixed(result.ipc(), 3)});
+    t.addRule();
+    t.addRow({"I-cache accesses",
+              TablePrinter::num(result.icacheAccesses)});
+    t.addRow({"I-cache misses",
+              TablePrinter::num(result.icacheMisses)});
+    if (result.icacheAccesses > 0) {
+        t.addRow({"I-cache miss ratio",
+                  TablePrinter::percent(
+                      static_cast<double>(result.icacheMisses) /
+                          static_cast<double>(result.icacheAccesses),
+                      2)});
+    }
+    t.addRow({"D-cache misses",
+              TablePrinter::num(result.dcacheMisses)});
+    t.addRow({"L2 misses", TablePrinter::num(result.l2Misses)});
+    t.addRow({"bus lines (L1<->L2)",
+              TablePrinter::num(result.busLines)});
+    t.addRow({"branch mispredicts",
+              TablePrinter::num(result.branchMispredicts)});
+    t.addRow({"instructions / call",
+              TablePrinter::fixed(result.instrsPerCall, 1)});
+
+    const auto total = result.totalPrefetch();
+    if (total.issued > 0) {
+        t.addRule();
+        t.addRow({"prefetches issued",
+                  TablePrinter::num(total.issued)});
+        t.addRow({"  pref hits", TablePrinter::num(total.prefHits)});
+        t.addRow({"  delayed hits",
+                  TablePrinter::num(total.delayedHits)});
+        t.addRow({"  useless", TablePrinter::num(total.useless)});
+        t.addRow({"  useful fraction",
+                  TablePrinter::percent(total.usefulFraction())});
+        t.addRow({"  squashed",
+                  TablePrinter::num(result.squashedPrefetches)});
+        if (result.cghc.issued > 0) {
+            t.addRow({"  CGHC-issued",
+                      TablePrinter::num(result.cghc.issued)});
+            t.addRow({"  CGHC useful fraction",
+                      TablePrinter::percent(
+                          result.cghc.usefulFraction())});
+        }
+    }
+    if (result.cghcAccesses > 0) {
+        t.addRow({"CGHC accesses",
+                  TablePrinter::num(result.cghcAccesses)});
+        t.addRow({"CGHC hit rate",
+                  TablePrinter::percent(
+                      static_cast<double>(result.cghcHits) /
+                          static_cast<double>(result.cghcAccesses))});
+    }
+    t.print(os);
+}
+
+void
+writeComparison(const std::vector<SimResult> &results,
+                std::ostream &os)
+{
+    cgp_assert(!results.empty(), "nothing to compare");
+    TablePrinter t("comparison: " + results.front().workload);
+    t.setHeader({"config", "cycles", "norm", "IPC", "I$ misses",
+                 "pf useful", "bus lines"});
+    const auto base = static_cast<double>(results.front().cycles);
+    for (const auto &r : results) {
+        cgp_assert(r.workload == results.front().workload,
+                   "comparing different workloads");
+        const auto total = r.totalPrefetch();
+        t.addRow({r.config, TablePrinter::num(r.cycles),
+                  TablePrinter::fixed(
+                      static_cast<double>(r.cycles) / base, 3),
+                  TablePrinter::fixed(r.ipc(), 2),
+                  TablePrinter::num(r.icacheMisses),
+                  total.issued > 0
+                      ? TablePrinter::percent(total.usefulFraction())
+                      : "-",
+                  TablePrinter::num(r.busLines)});
+    }
+    t.print(os);
+}
+
+} // namespace cgp

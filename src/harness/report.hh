@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable reporting of simulation results: a one-screen
+ * summary of a SimResult, and side-by-side comparisons of several
+ * results over the same workload (the building block of the
+ * per-figure benches, exposed for downstream users).
+ */
+
+#ifndef CGP_HARNESS_REPORT_HH
+#define CGP_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "harness/simulator.hh"
+
+namespace cgp
+{
+
+/** Write a detailed single-run report. */
+void writeReport(const SimResult &result, std::ostream &os);
+
+/**
+ * Write a comparison table of several runs of the same workload
+ * (cycles, IPC, misses, prefetch usefulness), normalized to the
+ * first entry.
+ */
+void writeComparison(const std::vector<SimResult> &results,
+                     std::ostream &os);
+
+} // namespace cgp
+
+#endif // CGP_HARNESS_REPORT_HH

@@ -1,0 +1,123 @@
+#include "harness/simconfig.hh"
+
+namespace cgp
+{
+
+const char *
+prefetchKindName(PrefetchKind kind)
+{
+    switch (kind) {
+      case PrefetchKind::None:
+        return "none";
+      case PrefetchKind::NextNLine:
+        return "NL";
+      case PrefetchKind::RunAheadNL:
+        return "RA-NL";
+      case PrefetchKind::Cgp:
+        return "CGP";
+      case PrefetchKind::SoftwareCgp:
+        return "SW-CGP";
+    }
+    return "?";
+}
+
+SimConfig
+SimConfig::o5()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::o5Om()
+{
+    SimConfig c;
+    c.layout = LayoutKind::PettisHansen;
+    return c;
+}
+
+SimConfig
+SimConfig::withNL(LayoutKind layout, unsigned n)
+{
+    SimConfig c;
+    c.layout = layout;
+    c.prefetch = PrefetchKind::NextNLine;
+    c.depth = n;
+    return c;
+}
+
+SimConfig
+SimConfig::withCgp(LayoutKind layout, unsigned n)
+{
+    SimConfig c;
+    c.layout = layout;
+    c.prefetch = PrefetchKind::Cgp;
+    c.depth = n;
+    return c;
+}
+
+SimConfig
+SimConfig::withCgpGeometry(LayoutKind layout, unsigned n,
+                           const CghcConfig &cghc)
+{
+    SimConfig c = withCgp(layout, n);
+    c.cghc = cghc;
+    return c;
+}
+
+SimConfig
+SimConfig::withRunAheadNL(LayoutKind layout, unsigned n, unsigned skip)
+{
+    SimConfig c;
+    c.layout = layout;
+    c.prefetch = PrefetchKind::RunAheadNL;
+    c.depth = n;
+    c.runaheadSkip = skip;
+    return c;
+}
+
+SimConfig
+SimConfig::withSoftwareCgp(LayoutKind layout, unsigned n)
+{
+    SimConfig c;
+    c.layout = layout;
+    c.prefetch = PrefetchKind::SoftwareCgp;
+    c.depth = n;
+    return c;
+}
+
+SimConfig
+SimConfig::perfectICacheOn(LayoutKind layout)
+{
+    SimConfig c;
+    c.layout = layout;
+    c.perfectICache = true;
+    return c;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::string s = layoutName(layout);
+    if (perfectICache)
+        return s + "+perf-Icache";
+    switch (prefetch) {
+      case PrefetchKind::None:
+        break;
+      case PrefetchKind::NextNLine:
+        s += "+NL_" + std::to_string(depth);
+        break;
+      case PrefetchKind::RunAheadNL:
+        s += "+RANL_" + std::to_string(depth) + "skip" +
+            std::to_string(runaheadSkip);
+        break;
+      case PrefetchKind::Cgp:
+        s += "+CGP_" + std::to_string(depth);
+        break;
+      case PrefetchKind::SoftwareCgp:
+        s += "+SWCGP_" + std::to_string(depth);
+        break;
+    }
+    return s;
+}
+
+} // namespace cgp

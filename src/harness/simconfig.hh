@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SimConfig: one experiment point — which binary (layout), which
+ * prefetcher, CGHC geometry, perfect-I$ flag — on top of the fixed
+ * Table 1 machine.  Named constructors produce the configurations
+ * the paper's figures compare.
+ */
+
+#ifndef CGP_HARNESS_SIMCONFIG_HH
+#define CGP_HARNESS_SIMCONFIG_HH
+
+#include <string>
+
+#include "codegen/layout.hh"
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/cghc.hh"
+
+namespace cgp
+{
+
+enum class PrefetchKind
+{
+    None,
+    NextNLine,
+    RunAheadNL,
+    Cgp,
+    SoftwareCgp ///< §6 future work: compiler-inserted prefetches
+};
+
+const char *prefetchKindName(PrefetchKind kind);
+
+struct SimConfig
+{
+    LayoutKind layout = LayoutKind::Original;
+    PrefetchKind prefetch = PrefetchKind::None;
+
+    /** N: lines per prefetch action (NL_N / CGP_N). */
+    unsigned depth = 4;
+
+    /** M: skip distance of run-ahead NL (§5.6). */
+    unsigned runaheadSkip = 4;
+
+    CghcConfig cghc = CghcConfig::twoLevel2K32K();
+
+    bool perfectICache = false;
+
+    /**
+     * OM's traditional link-time re-optimizations cut the dynamic
+     * instruction count by 12% (paper §5.1); applied when the layout
+     * is PettisHansen.
+     */
+    double omInstrScale = 0.88;
+
+    CoreConfig core;       ///< Table 1 pipeline
+    HierarchyConfig mem;   ///< Table 1 memory system
+
+    /// @{ Named experiment points.
+    static SimConfig o5();
+    static SimConfig o5Om();
+    static SimConfig withNL(LayoutKind layout, unsigned n);
+    static SimConfig withCgp(LayoutKind layout, unsigned n);
+    static SimConfig withCgpGeometry(LayoutKind layout, unsigned n,
+                                     const CghcConfig &cghc);
+    static SimConfig withRunAheadNL(LayoutKind layout, unsigned n,
+                                    unsigned skip);
+    static SimConfig withSoftwareCgp(LayoutKind layout, unsigned n);
+    static SimConfig perfectICacheOn(LayoutKind layout);
+    /// @}
+
+    /** Bar label in the paper's style ("O5+OM+CGP_4"). */
+    std::string describe() const;
+};
+
+} // namespace cgp
+
+#endif // CGP_HARNESS_SIMCONFIG_HH

@@ -1,0 +1,111 @@
+#include "harness/simulator.hh"
+
+#include <memory>
+
+#include "cpu/core.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/cgp.hh"
+#include "prefetch/nextline.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/software_cgp.hh"
+#include "trace/expand.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+SimResult
+runSimulation(const Workload &workload, const SimConfig &config)
+{
+    cgp_assert(workload.registry != nullptr && workload.trace != nullptr,
+               "incomplete workload");
+
+    // 1. Bind the trace to the requested binary layout.
+    LayoutBuilder builder(*workload.registry);
+    ExecutionProfile empty_profile;
+    const ExecutionProfile &profile = workload.omProfile
+        ? *workload.omProfile
+        : empty_profile;
+    const CodeImage image = builder.build(config.layout, profile);
+
+    ExpanderConfig expand_cfg;
+    expand_cfg.instrScale =
+        config.layout == LayoutKind::PettisHansen
+        ? config.omInstrScale
+        : 1.0;
+    InstructionExpander stream(*workload.registry, image,
+                               *workload.trace, expand_cfg);
+
+    // 2. Assemble the machine.
+    MemoryHierarchy mem(config.mem);
+
+    std::unique_ptr<InstrPrefetcher> prefetcher;
+    const Cghc *cghc = nullptr;
+    switch (config.prefetch) {
+      case PrefetchKind::None:
+        break;
+      case PrefetchKind::NextNLine:
+        prefetcher = std::make_unique<NextNLinePrefetcher>(
+            mem.l1i(), config.depth);
+        break;
+      case PrefetchKind::RunAheadNL:
+        prefetcher = std::make_unique<RunAheadNLPrefetcher>(
+            mem.l1i(), config.depth, config.runaheadSkip);
+        break;
+      case PrefetchKind::Cgp: {
+        auto cgp = std::make_unique<CgpPrefetcher>(
+            mem.l1i(), config.cghc, config.depth);
+        cghc = &cgp->cghc();
+        prefetcher = std::move(cgp);
+        break;
+      }
+      case PrefetchKind::SoftwareCgp:
+        // The "compiler" consumes the same profile feedback OM does.
+        prefetcher = std::make_unique<SoftwareCgpPrefetcher>(
+            mem.l1i(), *workload.registry, image, profile,
+            config.depth);
+        break;
+    }
+
+    CoreConfig core_cfg = config.core;
+    core_cfg.perfectICache = config.perfectICache;
+    Core core(stream, mem, prefetcher.get(), core_cfg);
+
+    // 3. Run.
+    core.run();
+
+    // 4. Collect.
+    SimResult r;
+    r.workload = workload.name;
+    r.config = config.describe();
+    r.cycles = core.cycles();
+    r.instrs = core.committedInstrs();
+
+    const Cache &l1i = mem.l1i();
+    r.icacheAccesses = l1i.demandAccesses();
+    r.icacheMisses = l1i.demandMisses();
+    r.dcacheMisses = mem.l1d().demandMisses();
+    r.l2Misses = mem.l2().demandMisses();
+
+    r.nl.issued = l1i.prefetchesIssued(AccessSource::PrefetchNL);
+    r.nl.prefHits = l1i.prefHits(AccessSource::PrefetchNL);
+    r.nl.delayedHits = l1i.delayedHits(AccessSource::PrefetchNL);
+    r.nl.useless = l1i.useless(AccessSource::PrefetchNL);
+    r.cghc.issued = l1i.prefetchesIssued(AccessSource::PrefetchCGHC);
+    r.cghc.prefHits = l1i.prefHits(AccessSource::PrefetchCGHC);
+    r.cghc.delayedHits =
+        l1i.delayedHits(AccessSource::PrefetchCGHC);
+    r.cghc.useless = l1i.useless(AccessSource::PrefetchCGHC);
+    r.squashedPrefetches = l1i.squashedPrefetches();
+    r.busLines = mem.port().requests();
+
+    r.branchMispredicts = core.branchUnit().mispredicts();
+    if (cghc != nullptr) {
+        r.cghcAccesses = cghc->accesses();
+        r.cghcHits = cghc->hits();
+    }
+    r.instrsPerCall = stream.instrsPerCall();
+    return r;
+}
+
+} // namespace cgp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulation driver: bind a workload trace to a layout, run it
+ * through the Table 1 machine under a SimConfig, and collect the
+ * numbers every paper figure needs.
+ */
+
+#ifndef CGP_HARNESS_SIMULATOR_HH
+#define CGP_HARNESS_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/simconfig.hh"
+#include "harness/workload.hh"
+
+namespace cgp
+{
+
+/** Prefetch classification for one source (Figure 8/9 bars). */
+struct PrefetchBreakdown
+{
+    std::uint64_t issued = 0;
+    std::uint64_t prefHits = 0;
+    std::uint64_t delayedHits = 0;
+    std::uint64_t useless = 0;
+
+    double
+    usefulFraction() const
+    {
+        const auto useful = prefHits + delayedHits;
+        const auto classified = useful + useless;
+        return classified == 0
+            ? 0.0
+            : static_cast<double>(useful)
+                / static_cast<double>(classified);
+    }
+};
+
+struct SimResult
+{
+    std::string workload;
+    std::string config;
+
+    Cycle cycles = 0;
+    std::uint64_t instrs = 0;
+
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t l2Misses = 0;
+
+    PrefetchBreakdown nl;   ///< NL-attributed prefetches
+    PrefetchBreakdown cghc; ///< CGHC-attributed prefetches
+    std::uint64_t squashedPrefetches = 0;
+
+    /** L2->L1 lines moved (demand fills + prefetch fills). */
+    std::uint64_t busLines = 0;
+
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t cghcAccesses = 0;
+    std::uint64_t cghcHits = 0;
+
+    double instrsPerCall = 0.0; ///< paper §5.4: ~43 for DBMS
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instrs)
+                               / static_cast<double>(cycles);
+    }
+
+    PrefetchBreakdown
+    totalPrefetch() const
+    {
+        PrefetchBreakdown t;
+        t.issued = nl.issued + cghc.issued;
+        t.prefHits = nl.prefHits + cghc.prefHits;
+        t.delayedHits = nl.delayedHits + cghc.delayedHits;
+        t.useless = nl.useless + cghc.useless;
+        return t;
+    }
+};
+
+/** Run one (workload, config) point. */
+SimResult runSimulation(const Workload &workload,
+                        const SimConfig &config);
+
+} // namespace cgp
+
+#endif // CGP_HARNESS_SIMULATOR_HH

@@ -1,0 +1,248 @@
+#include "harness/workload.hh"
+
+#include <cstdlib>
+
+#include "db/dbsys.hh"
+#include "db/tpch.hh"
+#include "db/wisconsin.hh"
+#include "trace/expand.hh"
+#include "trace/interleave.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+namespace
+{
+
+/** Record one Wisconsin query into a fresh buffer. */
+TraceBuffer
+recordWiscQuery(db::DbSystem &dbsys, int query, std::uint32_t n,
+                std::uint64_t seed)
+{
+    TraceBuffer buf;
+    dbsys.record(buf);
+    Rng rng(seed);
+    db::Wisconsin::runQuery(dbsys, query, n, rng);
+    return buf;
+}
+
+TraceBuffer
+recordTpchQuery(db::DbSystem &dbsys, int query,
+                const db::Tpch::Scale &scale, std::uint64_t seed)
+{
+    TraceBuffer buf;
+    dbsys.record(buf);
+    Rng rng(seed);
+    db::Tpch::runQuery(dbsys, query, scale, rng);
+    return buf;
+}
+
+/** Scheduler-stub emission at every context switch. */
+InterleaveConfig
+makeInterleave(const db::DbFuncs &fn)
+{
+    InterleaveConfig cfg;
+    cfg.quantumInstrs = WorkloadFactory::quantumInstrs();
+    cfg.onSwitch = [fn](TraceRecorder &rec) {
+        TraceScope s(rec, fn.osSchedule);
+        s.work(60);
+        s.branch(true);
+        {
+            TraceScope save(rec, fn.osCtxSave);
+            save.work(35);
+        }
+        {
+            TraceScope restore(rec, fn.osCtxRestore);
+            restore.work(35);
+        }
+        s.work(20);
+    };
+    return cfg;
+}
+
+/** Merge per-query buffers into one scheduled trace. */
+std::shared_ptr<TraceBuffer>
+schedule(const std::vector<TraceBuffer> &queries,
+         const db::DbFuncs &fn)
+{
+    std::vector<const TraceBuffer *> ptrs;
+    ptrs.reserve(queries.size());
+    for (const auto &q : queries)
+        ptrs.push_back(&q);
+    return std::make_shared<TraceBuffer>(
+        interleaveTraces(ptrs, makeInterleave(fn)));
+}
+
+/** Build a layout-independent profile by replaying over O5. */
+ExecutionProfile
+profileOf(const FunctionRegistry &registry, const TraceBuffer &trace)
+{
+    LayoutBuilder builder(registry);
+    const CodeImage o5 = builder.buildOriginal();
+    InstructionExpander expander(registry, o5, trace);
+    ExecutionProfile profile;
+    expander.setProfile(&profile);
+    DynInst inst;
+    while (expander.next(inst)) {
+    }
+    return profile;
+}
+
+} // anonymous namespace
+
+double
+WorkloadFactory::scale()
+{
+    if (const char *env = std::getenv("CGP_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0)
+            return v;
+        cgp_warn("ignoring bad CGP_SCALE value '", env, "'");
+    }
+    return 0.25;
+}
+
+std::uint64_t
+WorkloadFactory::quantumInstrs()
+{
+    // Query threads in the paper's server switch at I/O / lock-wait
+    // granularity, far coarser than an OS time slice; each slice is
+    // long enough that a query's loop warms the L1-I and the switch
+    // costs a full working-set refill.
+    return 60000;
+}
+
+DbWorkloadSet
+WorkloadFactory::buildDbSet()
+{
+    const double s = scale();
+    const auto wisc_prof_n =
+        static_cast<std::uint32_t>(std::max(1000.0 * s, 200.0));
+    const auto wisc_large_n =
+        static_cast<std::uint32_t>(std::max(10000.0 * s, 500.0));
+    const auto tpch_lines =
+        static_cast<std::uint32_t>(std::max(8000.0 * s, 400.0));
+
+    DbWorkloadSet set;
+    set.registry = std::make_shared<FunctionRegistry>();
+    FunctionRegistry &reg = *set.registry;
+
+    // ---- wisc-prof: queries 1, 5, 9 on the small database --------
+    TraceBuffer scratch;
+    db::DbConfig small_cfg;
+    small_cfg.bufferFrames = 2048;
+    db::DbSystem db_prof(reg, scratch, small_cfg);
+    db::Wisconsin::load(db_prof, wisc_prof_n);
+    std::vector<TraceBuffer> prof_queries;
+    prof_queries.push_back(recordWiscQuery(db_prof, 1, wisc_prof_n, 11));
+    prof_queries.push_back(recordWiscQuery(db_prof, 5, wisc_prof_n, 15));
+    prof_queries.push_back(recordWiscQuery(db_prof, 9, wisc_prof_n, 19));
+    const db::DbFuncs fn = db_prof.ctx().fn;
+    auto wisc_prof_trace = schedule(prof_queries, fn);
+
+    // ---- wisc-large-1: same queries, full-size database ----------
+    TraceBuffer scratch1;
+    db::DbConfig large_cfg;
+    large_cfg.bufferFrames = 4096;
+    db::DbSystem db_large(reg, scratch1, large_cfg);
+    db::Wisconsin::load(db_large, wisc_large_n);
+    std::vector<TraceBuffer> large1_queries;
+    large1_queries.push_back(
+        recordWiscQuery(db_large, 1, wisc_large_n, 21));
+    large1_queries.push_back(
+        recordWiscQuery(db_large, 5, wisc_large_n, 25));
+    large1_queries.push_back(
+        recordWiscQuery(db_large, 9, wisc_large_n, 29));
+    auto wisc_large1_trace = schedule(large1_queries, fn);
+
+    // ---- wisc-large-2: all eight queries --------------------------
+    std::vector<TraceBuffer> large2_queries;
+    for (int q : {1, 2, 3, 4, 5, 6, 7, 9}) {
+        large2_queries.push_back(
+            recordWiscQuery(db_large, q, wisc_large_n,
+                            static_cast<std::uint64_t>(30 + q)));
+    }
+    auto wisc_large2_trace = schedule(large2_queries, fn);
+
+    // ---- wisc+tpch: eight Wisconsin + five TPC-H queries ----------
+    TraceBuffer scratch2;
+    db::DbConfig tpch_cfg;
+    tpch_cfg.bufferFrames = 8192;
+    tpch_cfg.bufferSegment = 0x3000'0000;
+    db::DbSystem db_tpch(reg, scratch2, tpch_cfg);
+    const auto tpch_scale = db::Tpch::Scale::fromLineitems(tpch_lines);
+    db::Tpch::load(db_tpch, tpch_scale);
+
+    std::vector<TraceBuffer> mixed_queries;
+    for (int q : {1, 2, 3, 4, 5, 6, 7, 9}) {
+        mixed_queries.push_back(
+            recordWiscQuery(db_large, q, wisc_large_n,
+                            static_cast<std::uint64_t>(50 + q)));
+    }
+    for (int q : {1, 2, 3, 5, 6}) {
+        mixed_queries.push_back(
+            recordTpchQuery(db_tpch, q, tpch_scale,
+                            static_cast<std::uint64_t>(70 + q)));
+    }
+    auto wisc_tpch_trace = schedule(mixed_queries, fn);
+
+    // ---- OM feedback: wisc-prof + wisc+tpch profiles merged -------
+    auto om = std::make_shared<ExecutionProfile>(
+        profileOf(reg, *wisc_prof_trace));
+    om->merge(profileOf(reg, *wisc_tpch_trace));
+    set.omProfile = om;
+
+    auto add = [&set](const std::string &name,
+                      std::shared_ptr<TraceBuffer> trace) {
+        Workload w;
+        w.name = name;
+        w.registry = set.registry;
+        w.trace = std::move(trace);
+        w.omProfile = set.omProfile;
+        set.workloads.push_back(std::move(w));
+    };
+    add("wisc-prof", wisc_prof_trace);
+    add("wisc-large-1", wisc_large1_trace);
+    add("wisc-large-2", wisc_large2_trace);
+    add("wisc+tpch", wisc_tpch_trace);
+    return set;
+}
+
+Workload
+WorkloadFactory::buildSpec(const spec::SpecProgramSpec &spec)
+{
+    Workload w;
+    w.name = spec.name;
+    w.registry = std::make_shared<FunctionRegistry>();
+
+    spec::SpecProgram program(*w.registry, spec);
+
+    // Profile from the SPEC-provided "test" input (paper §5.7) ...
+    TraceBuffer test;
+    program.emitTest(test);
+    w.omProfile = std::make_shared<ExecutionProfile>(
+        profileOf(*w.registry, test));
+
+    // ... measurement on the "train" input.
+    auto train = std::make_shared<TraceBuffer>();
+    const double s = scale();
+    spec::SpecProgramSpec scaled = spec;
+    scaled.trainInstrs = static_cast<std::uint64_t>(
+        static_cast<double>(spec.trainInstrs) * std::min(s * 4, 1.0));
+    program.emit(*train, scaled.trainInstrs,
+                 0x7 + w.registry->lookup(spec.name + "::fn0") * 131);
+    w.trace = train;
+    return w;
+}
+
+std::vector<Workload>
+WorkloadFactory::buildCpu2000Suite()
+{
+    std::vector<Workload> out;
+    for (const auto &spec : spec::cpu2000Suite())
+        out.push_back(buildSpec(spec));
+    return out;
+}
+
+} // namespace cgp

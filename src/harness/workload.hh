@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload construction: runs the real database system (or a SPEC
+ * proxy) natively, records per-thread traces, interleaves them with
+ * the OS-scheduler stub, and derives the OM feedback profile exactly
+ * as the paper does (profiles of wisc-prof and wisc+tpch, merged).
+ */
+
+#ifndef CGP_HARNESS_WORKLOAD_HH
+#define CGP_HARNESS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/profile.hh"
+#include "codegen/registry.hh"
+#include "spec/cpu2000.hh"
+#include "trace/events.hh"
+
+namespace cgp
+{
+
+/** One measurable workload: a trace plus its program identity. */
+struct Workload
+{
+    std::string name;
+    std::shared_ptr<FunctionRegistry> registry;
+    std::shared_ptr<TraceBuffer> trace;
+
+    /** OM feedback (shared across a workload set). */
+    std::shared_ptr<ExecutionProfile> omProfile;
+};
+
+/** The paper's four database workloads (§4.1), sharing one binary. */
+struct DbWorkloadSet
+{
+    std::shared_ptr<FunctionRegistry> registry;
+    std::vector<Workload> workloads; ///< wisc-prof, wisc-large-1,
+                                     ///< wisc-large-2, wisc+tpch
+    std::shared_ptr<ExecutionProfile> omProfile;
+};
+
+class WorkloadFactory
+{
+  public:
+    /**
+     * Scale factor applied to tuple counts (CGP_SCALE environment
+     * variable; default keeps full-suite simulations to minutes).
+     */
+    static double scale();
+
+    /** Scheduling quantum in instructions for query interleaving. */
+    static std::uint64_t quantumInstrs();
+
+    /** Build all four DB workloads plus the merged OM profile. */
+    static DbWorkloadSet buildDbSet();
+
+    /** Build one SPEC proxy workload (train input) + its profile
+     *  (test input), per the paper's §5.7 methodology. */
+    static Workload buildSpec(const spec::SpecProgramSpec &spec);
+
+    /** All seven CPU2000 proxies. */
+    static std::vector<Workload> buildCpu2000Suite();
+};
+
+} // namespace cgp
+
+#endif // CGP_HARNESS_WORKLOAD_HH

@@ -1,0 +1,266 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+const char *
+accessSourceName(AccessSource src)
+{
+    switch (src) {
+      case AccessSource::DemandFetch:
+        return "demand_fetch";
+      case AccessSource::DemandData:
+        return "demand_data";
+      case AccessSource::PrefetchNL:
+        return "prefetch_nl";
+      case AccessSource::PrefetchCGHC:
+        return "prefetch_cghc";
+      default:
+        return "?";
+    }
+}
+
+Cache::Cache(const CacheConfig &config, Cache *next, MemoryPort *port)
+    : config_(config), next_(next), port_(port),
+      sets_(config.sizeBytes / (config.lineBytes * config.assoc)),
+      lines_(static_cast<std::size_t>(sets_) * config.assoc),
+      stats_(config.name)
+{
+    cgp_assert(isPowerOfTwo(config.lineBytes),
+               "line size must be a power of two");
+    cgp_assert(isPowerOfTwo(sets_), "set count must be a power of two");
+    cgp_assert(config.sizeBytes %
+                   (config.lineBytes * config.assoc) == 0,
+               "cache size not divisible into sets");
+    cgp_assert((next_ == nullptr) == (port_ == nullptr),
+               "next level and its port go together");
+
+    stats_.addCounter("demand_accesses", &accesses_,
+                      "demand lookups (reads + writes)");
+    stats_.addCounter("demand_misses", &misses_,
+                      "demand lookups missing array and MSHRs");
+    stats_.addCounter("writes", &writeAccesses_, "write accesses");
+    stats_.addCounter("fills", &fills_, "lines filled into the array");
+    stats_.addCounter("evictions", &evictions_, "valid lines evicted");
+    stats_.addCounter("squashed_prefetches", &squashed_,
+                      "prefetches dropped: line present or in flight");
+    for (std::size_t s = 0; s < numSources; ++s) {
+        const std::string n = accessSourceName(
+            static_cast<AccessSource>(s));
+        stats_.addCounter("prefetches_issued." + n, &prefIssued_[s],
+                          "prefetch requests sent to the next level");
+        stats_.addCounter("pref_hits." + n, &prefHits_[s],
+                          "first demand touch found line resident");
+        stats_.addCounter("delayed_hits." + n, &delayedHits_[s],
+                          "first demand touch found line in flight");
+        stats_.addCounter("useless." + n, &useless_[s],
+                          "prefetched lines evicted or never touched");
+    }
+    stats_.addFormula(
+        "miss_rate",
+        [this]() {
+            const auto a = accesses_.value();
+            return a == 0 ? 0.0
+                          : static_cast<double>(misses_.value())
+                              / static_cast<double>(a);
+        },
+        "demand miss rate");
+}
+
+std::size_t
+Cache::setOf(Addr line_addr) const
+{
+    return static_cast<std::size_t>(
+        (line_addr / config_.lineBytes) & (sets_ - 1));
+}
+
+Cache::Line *
+Cache::find(Addr line_addr)
+{
+    const std::size_t base = setOf(line_addr) * config_.assoc;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == line_addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+Cycle
+Cache::forwardMiss(Addr line_addr, Cycle now, AccessSource source)
+{
+    if (next_ != nullptr) {
+        const Cycle start = port_->request(now);
+        // serviceChild computes its own latency from `start`; the
+        // port already accounts FIFO occupancy.
+        auto res = next_->access(line_addr, start, source, false);
+        return res.readyCycle;
+    }
+    // Last level: memory-backed with a fixed latency.
+    return now + config_.hitLatency + 80;
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, Cycle now, AccessSource source, bool is_write)
+{
+    const Addr line_addr = lineAlign(addr);
+    ++accesses_;
+    if (is_write)
+        ++writeAccesses_;
+    ++tick_;
+
+    AccessResult res;
+    if (Line *l = find(line_addr); l != nullptr) {
+        res.hit = true;
+        res.readyCycle = now + config_.hitLatency;
+        l->lru = tick_;
+        l->dirty = l->dirty || is_write;
+        if (l->prefetched && !l->referenced) {
+            ++prefHits_[static_cast<std::size_t>(l->source)];
+            l->referenced = true;
+        }
+        return res;
+    }
+
+    if (auto it = inflight_.find(line_addr); it != inflight_.end()) {
+        Mshr &m = it->second;
+        if (m.isPrefetch && !m.demanded)
+            ++delayedHits_[static_cast<std::size_t>(m.source)];
+        m.demanded = true;
+        res.delayedHit = true;
+        res.readyCycle = std::max(m.readyCycle,
+                                  now + config_.hitLatency);
+        return res;
+    }
+
+    ++misses_;
+    Mshr m;
+    m.readyCycle = forwardMiss(line_addr, now, source);
+    m.isPrefetch = false;
+    m.demanded = true;
+    m.source = source;
+    res.readyCycle = m.readyCycle;
+    inflight_.emplace(line_addr, m);
+    return res;
+}
+
+bool
+Cache::prefetch(Addr addr, Cycle now, AccessSource source)
+{
+    const Addr line_addr = lineAlign(addr);
+    if (find(line_addr) != nullptr ||
+        inflight_.find(line_addr) != inflight_.end()) {
+        ++squashed_;
+        return false;
+    }
+    Mshr m;
+    m.readyCycle = forwardMiss(line_addr, now, source);
+    m.isPrefetch = true;
+    m.demanded = false;
+    m.source = source;
+    inflight_.emplace(line_addr, m);
+    ++prefIssued_[static_cast<std::size_t>(source)];
+    return true;
+}
+
+void
+Cache::insert(Addr line_addr, const Mshr &mshr)
+{
+    const std::size_t base = setOf(line_addr) * config_.assoc;
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (!l.valid) {
+            victim = base + w;
+            break;
+        }
+        if (l.lru < lines_[victim].lru)
+            victim = base + w;
+    }
+    Line &v = lines_[victim];
+    if (v.valid) {
+        ++evictions_;
+        if (v.prefetched && !v.referenced)
+            ++useless_[static_cast<std::size_t>(v.source)];
+    }
+    ++tick_;
+    v.valid = true;
+    v.tag = line_addr;
+    v.lru = tick_;
+    v.dirty = false;
+    v.prefetched = mshr.isPrefetch;
+    v.referenced = mshr.demanded;
+    v.source = mshr.source;
+    ++fills_;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    if (inflight_.empty())
+        return;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.readyCycle <= now) {
+            insert(it->first, it->second);
+            it = inflight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Cache::finalize()
+{
+    for (const auto &[addr, m] : inflight_) {
+        (void)addr;
+        if (m.isPrefetch && !m.demanded)
+            ++useless_[static_cast<std::size_t>(m.source)];
+    }
+    inflight_.clear();
+    for (Line &l : lines_) {
+        if (l.valid && l.prefetched && !l.referenced) {
+            ++useless_[static_cast<std::size_t>(l.source)];
+            l.referenced = true;
+        }
+    }
+    if (next_ != nullptr)
+        next_->finalize();
+}
+
+std::uint64_t
+Cache::demandAccesses() const
+{
+    return accesses_.value();
+}
+
+std::uint64_t
+Cache::prefetchesIssued(AccessSource src) const
+{
+    return prefIssued_[static_cast<std::size_t>(src)].value();
+}
+
+std::uint64_t
+Cache::prefHits(AccessSource src) const
+{
+    return prefHits_[static_cast<std::size_t>(src)].value();
+}
+
+std::uint64_t
+Cache::delayedHits(AccessSource src) const
+{
+    return delayedHits_[static_cast<std::size_t>(src)].value();
+}
+
+std::uint64_t
+Cache::useless(AccessSource src) const
+{
+    return useless_[static_cast<std::size_t>(src)].value();
+}
+
+} // namespace cgp

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Cache hierarchy model.
+ *
+ * Geometry follows paper Table 1: split 32KB 2-way L1 I/D caches and
+ * a unified 1MB 4-way L2, all with 32-byte lines; hit latencies 1
+ * (L1) and 16 (L2), memory latency 80 cycles.
+ *
+ * Two properties of the paper's memory system are modeled exactly:
+ *
+ *  - L2 services L1 misses *and* prefetches through one FIFO port
+ *    with no demand priority (§3.3), at one request per cycle, so a
+ *    burst of useless prefetches genuinely delays demand misses;
+ *
+ *  - every prefetched L1 line is classified on its *next* reference
+ *    (§5.6 / Figure 8): already present -> "pref hit", still in
+ *    flight -> "delayed hit", evicted or never referenced ->
+ *    "useless".  Prefetches for lines already present or in flight
+ *    are squashed without touching the L2 port.
+ */
+
+#ifndef CGP_MEM_CACHE_HH
+#define CGP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace cgp
+{
+
+/** Who generated a memory-system request (for attribution stats). */
+enum class AccessSource : std::uint8_t
+{
+    DemandFetch = 0,  ///< instruction fetch
+    DemandData = 1,   ///< load/store
+    PrefetchNL = 2,   ///< next-N-line prefetcher
+    PrefetchCGHC = 3, ///< call graph history cache
+    NumSources = 4
+};
+
+const char *accessSourceName(AccessSource src);
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 32;
+    Cycle hitLatency = 1;
+};
+
+/**
+ * The backing side of the last cache level: a fixed-latency memory
+ * plus the one-per-cycle FIFO request port described in §3.3.
+ */
+class MemoryPort
+{
+  public:
+    /** Requests the port can start per cycle (L2 banking). */
+    static constexpr unsigned bandwidth = 2;
+
+    /**
+     * Enqueue a request arriving at @p now; returns the cycle the
+     * next level starts servicing it.  Throughput is limited per
+     * cycle in arrival order — demand misses and prefetches queue
+     * together with no priority (paper §3.3).
+     */
+    Cycle
+    request(Cycle now)
+    {
+        Cycle start = now + 1;
+        if (start < lastStart_)
+            start = lastStart_;
+        if (start == lastStart_ && startedThisCycle_ >= bandwidth)
+            ++start;
+        if (start != lastStart_) {
+            lastStart_ = start;
+            startedThisCycle_ = 1;
+        } else {
+            ++startedThisCycle_;
+        }
+        ++requests_;
+        return start;
+    }
+
+    /** Total requests that crossed this port (bus traffic in lines). */
+    std::uint64_t requests() const { return requests_; }
+
+  private:
+    Cycle lastStart_ = 0;
+    unsigned startedThisCycle_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+/**
+ * One set-associative, LRU, write-allocate cache level.  Levels are
+ * chained: a miss in this level consults @c next (or raw memory when
+ * this is the last level).  Timing is computed at request time; fills
+ * become visible to subsequent accesses once their ready cycle
+ * passes (drained eagerly each CPU cycle via tick()).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry/latency.
+     * @param next Next cache level, or nullptr if memory-backed.
+     * @param memory Memory port used when @p next is nullptr, or the
+     *               FIFO port in front of @p next.
+     */
+    Cache(const CacheConfig &config, Cache *next, MemoryPort *port);
+
+    struct AccessResult
+    {
+        Cycle readyCycle = 0;  ///< when the data can be consumed
+        bool hit = false;      ///< L1 array hit
+        bool delayedHit = false; ///< matched an in-flight fill
+    };
+
+    /** Demand access (fetch or data). */
+    AccessResult access(Addr addr, Cycle now, AccessSource source,
+                        bool is_write);
+
+    /**
+     * Prefetch @p addr into this cache.  Squashed (no effect, no L2
+     * traffic) when the line is present or already in flight.
+     * @return true if a prefetch request was actually issued.
+     */
+    bool prefetch(Addr addr, Cycle now, AccessSource source);
+
+    /** Move fills whose ready cycle has passed into the array. */
+    void tick(Cycle now);
+
+    /**
+     * End-of-run accounting: classify still-unreferenced prefetched
+     * lines (in the array or in flight) as useless.
+     */
+    void finalize();
+
+    /// @{ Statistics access for the harness.
+    const StatGroup &stats() const { return stats_; }
+    std::uint64_t demandAccesses() const;
+    std::uint64_t demandMisses() const { return misses_.value(); }
+    std::uint64_t prefetchesIssued(AccessSource src) const;
+    std::uint64_t prefHits(AccessSource src) const;
+    std::uint64_t delayedHits(AccessSource src) const;
+    std::uint64_t useless(AccessSource src) const;
+    std::uint64_t squashedPrefetches() const { return squashed_.value(); }
+    std::uint64_t fills() const { return fills_.value(); }
+    /// @}
+
+    std::uint32_t lineBytes() const { return config_.lineBytes; }
+
+    Addr
+    lineAlign(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(config_.lineBytes - 1);
+    }
+
+  private:
+    static constexpr std::size_t numSources =
+        static_cast<std::size_t>(AccessSource::NumSources);
+
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;   ///< filled by a prefetch...
+        bool referenced = false;   ///< ...and demanded since
+        AccessSource source = AccessSource::DemandFetch;
+    };
+
+    struct Mshr
+    {
+        Cycle readyCycle = 0;
+        bool isPrefetch = false;
+        bool demanded = false; ///< a demand access joined the fill
+        AccessSource source = AccessSource::DemandFetch;
+    };
+
+    std::size_t setOf(Addr line_addr) const;
+
+    /** Miss path: compute fill latency through next level / memory. */
+    Cycle forwardMiss(Addr line_addr, Cycle now, AccessSource source);
+
+    /** Insert a line, evicting LRU (classifying prefetch victims). */
+    void insert(Addr line_addr, const Mshr &mshr);
+
+    Line *find(Addr line_addr);
+
+    CacheConfig config_;
+    Cache *next_;
+    MemoryPort *port_;
+
+    std::uint32_t sets_;
+    std::vector<Line> lines_;
+    std::unordered_map<Addr, Mshr> inflight_;
+    std::uint64_t tick_ = 0;
+
+    Counter accesses_;
+    Counter misses_;
+    Counter writeAccesses_;
+    Counter fills_;
+    Counter evictions_;
+    Counter squashed_;
+    Counter prefIssued_[numSources];
+    Counter prefHits_[numSources];
+    Counter delayedHits_[numSources];
+    Counter useless_[numSources];
+    StatGroup stats_;
+};
+
+} // namespace cgp
+
+#endif // CGP_MEM_CACHE_HH

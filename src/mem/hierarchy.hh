@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Convenience bundle wiring the Table 1 memory system: split L1 I/D,
+ * one shared FIFO port, and a unified L2 (memory-backed).
+ */
+
+#ifndef CGP_MEM_HIERARCHY_HH
+#define CGP_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+
+namespace cgp
+{
+
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 2, 32, 1};
+    CacheConfig l1d{"l1d", 32 * 1024, 2, 32, 1};
+    CacheConfig l2{"l2", 1024 * 1024, 4, 32, 16};
+};
+
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {})
+        : l2_(config.l2, nullptr, nullptr),
+          l1i_(config.l1i, &l2_, &port_),
+          l1d_(config.l1d, &l2_, &port_)
+    {
+    }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    MemoryPort &port() { return port_; }
+
+    void
+    tick(Cycle now)
+    {
+        l1i_.tick(now);
+        l1d_.tick(now);
+        l2_.tick(now);
+    }
+
+    void
+    finalize()
+    {
+        l1i_.finalize();
+        l1d_.finalize();
+    }
+
+  private:
+    MemoryPort port_;
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+};
+
+} // namespace cgp
+
+#endif // CGP_MEM_HIERARCHY_HH

@@ -1,0 +1,354 @@
+#include "prefetch/cghc.hh"
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+namespace
+{
+
+/** Data-array bytes per finite entry (one cache line). */
+constexpr std::uint32_t entryBytes = 32;
+
+} // anonymous namespace
+
+CghcConfig
+CghcConfig::oneLevel1K()
+{
+    CghcConfig c;
+    c.l1Bytes = 1024;
+    c.l2Bytes = 0;
+    return c;
+}
+
+CghcConfig
+CghcConfig::oneLevel32K()
+{
+    CghcConfig c;
+    c.l1Bytes = 32 * 1024;
+    c.l2Bytes = 0;
+    return c;
+}
+
+CghcConfig
+CghcConfig::twoLevel1K16K()
+{
+    CghcConfig c;
+    c.l1Bytes = 1024;
+    c.l2Bytes = 16 * 1024;
+    return c;
+}
+
+CghcConfig
+CghcConfig::twoLevel2K32K()
+{
+    CghcConfig c;
+    c.l1Bytes = 2 * 1024;
+    c.l2Bytes = 32 * 1024;
+    return c;
+}
+
+CghcConfig
+CghcConfig::infiniteSize()
+{
+    CghcConfig c;
+    c.infinite = true;
+    return c;
+}
+
+std::string
+CghcConfig::describe() const
+{
+    if (infinite)
+        return "CGHC-Inf";
+    std::ostringstream os;
+    os << "CGHC-" << l1Bytes / 1024 << "K";
+    if (l2Bytes > 0)
+        os << "+" << l2Bytes / 1024 << "K";
+    if (assoc > 1)
+        os << "-" << assoc << "way";
+    return os.str();
+}
+
+Cghc::Cghc(const CghcConfig &config)
+    : config_(config),
+      l1Entries_(config.infinite ? 0 : config.l1Bytes / entryBytes),
+      l2Entries_(config.infinite ? 0 : config.l2Bytes / entryBytes),
+      stats_("cghc")
+{
+    if (!config_.infinite) {
+        cgp_assert(config_.assoc > 0, "CGHC associativity must be > 0");
+        cgp_assert(l1Entries_ > 0 && isPowerOfTwo(l1Entries_),
+                   "CGHC L1 entry count must be a power of two");
+        cgp_assert(l2Entries_ == 0 || isPowerOfTwo(l2Entries_),
+                   "CGHC L2 entry count must be a power of two");
+        cgp_assert(l1Entries_ % config_.assoc == 0,
+                   "CGHC L1 entries must divide into ways");
+        cgp_assert(l2Entries_ % config_.assoc == 0,
+                   "CGHC L2 entries must divide into ways");
+        l1_.resize(l1Entries_);
+        l2_.resize(l2Entries_);
+        for (auto &e : l1_)
+            e.slots.assign(config_.slots, invalidAddr);
+        for (auto &e : l2_)
+            e.slots.assign(config_.slots, invalidAddr);
+    }
+
+    stats_.addCounter("accesses", &accesses_, "prefetch-side accesses");
+    stats_.addCounter("hits", &hits_, "prefetch-side tag hits");
+    stats_.addCounter("l2_hits", &l2Hits_,
+                      "hits served by the second-level CGHC");
+    stats_.addCounter("allocs", &allocs_, "entries allocated on miss");
+    stats_.addCounter("prefetch_hints", &prefetchHints_,
+                      "accesses that produced a prefetch target");
+    stats_.addFormula(
+        "hit_rate",
+        [this]() {
+            const auto a = accesses_.value();
+            return a == 0 ? 0.0
+                          : static_cast<double>(hits_.value())
+                              / static_cast<double>(a);
+        },
+        "prefetch-side hit rate");
+}
+
+std::size_t
+Cghc::setOf(Addr start, std::size_t entries) const
+{
+    // Function starts are 32-byte aligned; drop those bits first
+    // ("the lower order bits of the ... address", §3.2).
+    const std::size_t sets = entries / config_.assoc;
+    return static_cast<std::size_t>((start >> 5) & (sets - 1));
+}
+
+Cghc::Entry *
+Cghc::findWay(std::vector<Entry> &level, std::size_t entries,
+              Addr start)
+{
+    const std::size_t base = setOf(start, entries) * config_.assoc;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = level[base + w];
+        if (e.valid && e.tag == start)
+            return &e;
+    }
+    return nullptr;
+}
+
+Cghc::Entry &
+Cghc::victimWay(std::vector<Entry> &level, std::size_t entries,
+                Addr start)
+{
+    const std::size_t base = setOf(start, entries) * config_.assoc;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Entry &e = level[base + w];
+        if (!e.valid)
+            return e;
+        if (e.lru < level[victim].lru)
+            victim = base + w;
+    }
+    return level[victim];
+}
+
+Cghc::Entry *
+Cghc::lookup(Addr start, bool allocate, Cycle &delay, bool &hit)
+{
+    delay = config_.l1Latency;
+    hit = false;
+    ++tick_;
+
+    if (Entry *e1 = findWay(l1_, l1Entries_, start); e1 != nullptr) {
+        hit = true;
+        e1->lru = tick_;
+        return e1;
+    }
+
+    if (l2Entries_ > 0) {
+        if (Entry *e2 = findWay(l2_, l2Entries_, start);
+            e2 != nullptr) {
+            // Swap: promote the hit entry to L1, demote the L1
+            // victim to its own L2 set (paper §5.3).
+            hit = true;
+            delay = config_.l2Latency;
+            ++l2Hits_;
+            Entry promoted = *e2;
+            e2->valid = false;
+            Entry &v1 = victimWay(l1_, l1Entries_, start);
+            Entry demoted = v1;
+            if (demoted.valid) {
+                Entry &v2 =
+                    victimWay(l2_, l2Entries_, demoted.tag);
+                v2 = demoted;
+                v2.lru = tick_;
+            }
+            v1 = promoted;
+            v1.lru = tick_;
+            return &v1;
+        }
+    }
+
+    if (!allocate)
+        return nullptr;
+
+    // Total miss: allocate in L1; the displaced entry is written
+    // back to the second level (if present).
+    ++allocs_;
+    Entry &v1 = victimWay(l1_, l1Entries_, start);
+    if (v1.valid && l2Entries_ > 0) {
+        Entry &v2 = victimWay(l2_, l2Entries_, v1.tag);
+        v2 = v1;
+        v2.lru = tick_;
+    }
+    v1 = Entry{};
+    v1.valid = true;
+    v1.tag = start;
+    v1.index = 1;
+    v1.count = 0;
+    v1.lru = tick_;
+    v1.slots.assign(config_.slots, invalidAddr);
+    return &v1;
+}
+
+Cghc::ProbeResult
+Cghc::callPrefetchAccess(Addr callee_start)
+{
+    ++accesses_;
+    ProbeResult res;
+
+    if (config_.infinite) {
+        auto it = inf_.find(callee_start);
+        if (it == inf_.end()) {
+            ++allocs_;
+            inf_[callee_start];
+            return res;
+        }
+        res.hit = true;
+        ++hits_;
+        const InfEntry &e = it->second;
+        const std::size_t slot = e.index - 1;
+        if (slot < e.sequence.size()) {
+            res.prefetchTarget = e.sequence[slot];
+            ++prefetchHints_;
+        }
+        return res;
+    }
+
+    bool hit = false;
+    Entry *e = lookup(callee_start, /*allocate=*/true, res.delay, hit);
+    if (!hit)
+        return res; // fresh entry, nothing to prefetch
+    res.hit = true;
+    ++hits_;
+    const std::size_t slot = static_cast<std::size_t>(e->index) - 1;
+    if (slot < e->count && e->slots[slot] != invalidAddr) {
+        res.prefetchTarget = e->slots[slot];
+        ++prefetchHints_;
+    }
+    return res;
+}
+
+void
+Cghc::callUpdateAccess(Addr caller_start, Addr callee_start)
+{
+    if (config_.infinite) {
+        InfEntry &e = inf_[caller_start];
+        const std::size_t slot = e.index - 1;
+        if (slot < e.sequence.size())
+            e.sequence[slot] = callee_start;
+        else
+            e.sequence.push_back(callee_start);
+        ++e.index;
+        return;
+    }
+
+    Cycle delay;
+    bool hit = false;
+    Entry *e = lookup(caller_start, /*allocate=*/true, delay, hit);
+    if (!hit) {
+        // Miss on the update access for a call: slot 1 gets the
+        // callee (paper §3.2) and the index advances past it.
+        e->slots[0] = callee_start;
+        e->count = 1;
+        e->index = 2;
+        return;
+    }
+    // "The index is incremented by 1 on each call update, up to a
+    // maximum value of 8" and "only the first 8 functions invoked
+    // are stored" (§3.2): once the index has saturated with all
+    // slots filled this invocation, further callees are dropped.
+    const std::size_t slot = static_cast<std::size_t>(e->index) - 1;
+    const bool saturated = e->index == config_.slots &&
+        e->count >= config_.slots;
+    if (slot < config_.slots && !saturated) {
+        e->slots[slot] = callee_start;
+        if (e->count < slot + 1)
+            e->count = static_cast<std::uint8_t>(slot + 1);
+        if (e->index < config_.slots)
+            ++e->index;
+    }
+}
+
+Cghc::ProbeResult
+Cghc::returnPrefetchAccess(Addr returnee_start)
+{
+    ++accesses_;
+    ProbeResult res;
+
+    if (config_.infinite) {
+        auto it = inf_.find(returnee_start);
+        if (it == inf_.end()) {
+            ++allocs_;
+            inf_[returnee_start];
+            return res;
+        }
+        res.hit = true;
+        ++hits_;
+        const InfEntry &e = it->second;
+        const std::size_t slot = e.index - 1;
+        if (slot < e.sequence.size()) {
+            res.prefetchTarget = e.sequence[slot];
+            ++prefetchHints_;
+        }
+        return res;
+    }
+
+    bool hit = false;
+    Entry *e = lookup(returnee_start, /*allocate=*/true, res.delay,
+                      hit);
+    if (!hit)
+        return res;
+    res.hit = true;
+    ++hits_;
+    const std::size_t slot = static_cast<std::size_t>(e->index) - 1;
+    if (slot < e->count && e->slots[slot] != invalidAddr) {
+        res.prefetchTarget = e->slots[slot];
+        ++prefetchHints_;
+    }
+    return res;
+}
+
+void
+Cghc::returnUpdateAccess(Addr returning_start)
+{
+    if (config_.infinite) {
+        auto it = inf_.find(returning_start);
+        if (it != inf_.end()) {
+            // A fresh invocation will rebuild the sequence; keep the
+            // old one (most recent completed) but restart the index.
+            it->second.index = 1;
+        }
+        return;
+    }
+
+    Cycle delay;
+    bool hit = false;
+    Entry *e = lookup(returning_start, /*allocate=*/true, delay, hit);
+    e->index = 1;
+    (void)hit;
+}
+
+} // namespace cgp

@@ -1,0 +1,40 @@
+#include "prefetch/nextline.hh"
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+NextNLinePrefetcher::NextNLinePrefetcher(Cache &l1i, unsigned depth,
+                                         AccessSource source)
+    : l1i_(l1i), depth_(depth), source_(source)
+{
+    cgp_assert(depth > 0, "NL depth must be positive");
+}
+
+void
+NextNLinePrefetcher::onFetchLine(Addr line_addr, Cycle now)
+{
+    const Addr line = l1i_.lineBytes();
+    for (unsigned i = 1; i <= depth_; ++i)
+        l1i_.prefetch(line_addr + i * line, now, source_);
+}
+
+RunAheadNLPrefetcher::RunAheadNLPrefetcher(Cache &l1i, unsigned depth,
+                                           unsigned skip)
+    : l1i_(l1i), depth_(depth), skip_(skip)
+{
+    cgp_assert(depth > 0, "run-ahead depth must be positive");
+}
+
+void
+RunAheadNLPrefetcher::onFetchLine(Addr line_addr, Cycle now)
+{
+    const Addr line = l1i_.lineBytes();
+    for (unsigned i = 1; i <= depth_; ++i) {
+        l1i_.prefetch(line_addr + (skip_ + i) * line, now,
+                      AccessSource::PrefetchNL);
+    }
+}
+
+} // namespace cgp

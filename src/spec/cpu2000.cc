@@ -1,0 +1,222 @@
+#include "spec/cpu2000.hh"
+
+#include <algorithm>
+
+#include "trace/recorder.hh"
+#include "util/logging.hh"
+
+namespace cgp::spec
+{
+
+std::vector<SpecProgramSpec>
+cpu2000Suite()
+{
+    std::vector<SpecProgramSpec> suite;
+
+    // gzip: a handful of tight compression loops; calls are rare and
+    // the hot code fits easily in L1-I.
+    {
+        SpecProgramSpec s;
+        s.name = "gzip";
+        s.functions = 60;
+        s.hotFunctions = 8;
+        s.workPerCall = 900.0;
+        s.fanout = 3;
+        s.branchRate = 0.2;
+        s.body = FunctionTraits::large();
+        s.body.hotInstrs = 320;
+        suite.push_back(s);
+    }
+
+    // gcc: the big one — hundreds of pass/utility functions touched
+    // per run, the only CPU2000 benchmark with a real I-cache
+    // problem (paper: 0.5% miss ratio, 17% perfect-I$ gap).
+    {
+        SpecProgramSpec s;
+        s.name = "gcc";
+        s.functions = 420;
+        s.hotFunctions = 58;
+        s.workPerCall = 70.0;
+        s.fanout = 6;
+        s.callBias = 0.52;
+        s.branchRate = 0.2;
+        s.branchTakenRate = 0.4;
+        s.body = FunctionTraits::small();
+        suite.push_back(s);
+    }
+
+    // crafty: chess search — moderate code footprint, deep
+    // recursion (paper: 0.3% miss ratio, 9% perfect-I$ gap).
+    {
+        SpecProgramSpec s;
+        s.name = "crafty";
+        s.functions = 160;
+        s.hotFunctions = 52;
+        s.workPerCall = 110.0;
+        s.fanout = 5;
+        s.callBias = 0.55;
+        s.body = FunctionTraits::small();
+        suite.push_back(s);
+    }
+
+    // parser: link-grammar parser, modest footprint.
+    {
+        SpecProgramSpec s;
+        s.name = "parser";
+        s.functions = 120;
+        s.hotFunctions = 24;
+        s.workPerCall = 220.0;
+        s.fanout = 4;
+        s.body = FunctionTraits::small();
+        suite.push_back(s);
+    }
+
+    // gap: group theory interpreter; small-ish hot loop set (paper:
+    // 2% perfect-I$ gap).
+    {
+        SpecProgramSpec s;
+        s.name = "gap";
+        s.functions = 160;
+        s.hotFunctions = 30;
+        s.workPerCall = 140.0;
+        s.fanout = 4;
+        s.body = FunctionTraits::small();
+        suite.push_back(s);
+    }
+
+    // bzip2: like gzip, tiny hot loops.
+    {
+        SpecProgramSpec s;
+        s.name = "bzip2";
+        s.functions = 40;
+        s.hotFunctions = 6;
+        s.workPerCall = 1100.0;
+        s.fanout = 3;
+        s.body = FunctionTraits::large();
+        s.body.hotInstrs = 288;
+        suite.push_back(s);
+    }
+
+    // twolf: place-and-route, small numeric kernels.
+    {
+        SpecProgramSpec s;
+        s.name = "twolf";
+        s.functions = 90;
+        s.hotFunctions = 16;
+        s.workPerCall = 260.0;
+        s.fanout = 4;
+        s.body = FunctionTraits::small();
+        suite.push_back(s);
+    }
+
+    return suite;
+}
+
+SpecProgram::SpecProgram(FunctionRegistry &registry,
+                         const SpecProgramSpec &spec)
+    : spec_(spec)
+{
+    cgp_assert(spec_.hotFunctions >= 2, "need at least two functions");
+    cgp_assert(spec_.hotFunctions <= spec_.functions,
+               "hot set larger than the program");
+
+    funcs_.reserve(spec_.functions);
+    for (unsigned i = 0; i < spec_.functions; ++i) {
+        funcs_.push_back(registry.declare(
+            spec_.name + "::fn" + std::to_string(i), spec_.body));
+    }
+
+    // Static call graph: function i calls a deterministic window of
+    // nearby hot functions (call locality like real programs).
+    Rng rng(0xabcd0000 + std::hash<std::string>{}(spec_.name));
+    callees_.resize(spec_.functions);
+    for (unsigned i = 0; i < spec_.hotFunctions; ++i) {
+        for (unsigned k = 0; k < spec_.fanout; ++k) {
+            const unsigned off =
+                1 + static_cast<unsigned>(
+                        rng.nextBelow(spec_.hotFunctions - 1));
+            callees_[i].push_back(
+                funcs_[(i + off) % spec_.hotFunctions]);
+        }
+    }
+}
+
+void
+SpecProgram::emit(TraceBuffer &out, std::uint64_t instrs,
+                  std::uint64_t seed) const
+{
+    TraceRecorder rec(out);
+    Rng rng(seed);
+
+    constexpr unsigned maxDepth = 24;
+    std::vector<unsigned> stack; // indices into funcs_/callees_
+
+    stack.push_back(0);
+    rec.call(funcs_[0]);
+
+    std::uint64_t emitted = 0;
+    while (emitted < instrs) {
+        const unsigned cur = stack.back();
+
+        // A work burst, with data-dependent branches sprinkled in.
+        const auto burst = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(
+                1, rng.nextGeometric(spec_.workPerCall)));
+        std::uint32_t left = burst;
+        while (left > 0) {
+            const std::uint32_t chunk = std::min<std::uint32_t>(
+                left, 40 + static_cast<std::uint32_t>(
+                          rng.nextBelow(60)));
+            rec.work(chunk);
+            left -= chunk;
+            if (rng.nextBool(spec_.branchRate))
+                rec.branch(rng.nextBool(spec_.branchTakenRate));
+        }
+        emitted += burst;
+
+        // Descend or return.
+        const bool can_call = !callees_[cur].empty() &&
+            stack.size() < maxDepth;
+        const bool do_call = can_call &&
+            (stack.size() <= 1 || rng.nextBool(spec_.callBias));
+        if (do_call) {
+            const auto &cands = callees_[cur];
+            const FunctionId callee = cands[static_cast<std::size_t>(
+                rng.nextBelow(cands.size()))];
+            // Map back to the walk index (hot functions only).
+            unsigned idx = 0;
+            for (unsigned i = 0; i < spec_.hotFunctions; ++i) {
+                if (funcs_[i] == callee) {
+                    idx = i;
+                    break;
+                }
+            }
+            rec.call(callee);
+            stack.push_back(idx);
+            ++emitted;
+        } else if (stack.size() > 1) {
+            rec.ret();
+            stack.pop_back();
+            ++emitted;
+        }
+    }
+
+    while (!stack.empty()) {
+        rec.ret();
+        stack.pop_back();
+    }
+}
+
+void
+SpecProgram::emitTest(TraceBuffer &out) const
+{
+    emit(out, spec_.testInstrs, 0x7e57 + funcs_.front());
+}
+
+void
+SpecProgram::emitTrain(TraceBuffer &out) const
+{
+    emit(out, spec_.trainInstrs, 0x7 + funcs_.front() * 131);
+}
+
+} // namespace cgp::spec

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic stand-ins for the seven SPEC CPU2000 integer benchmarks
+ * of paper §5.7 (gzip, gcc, crafty, parser, gap, bzip2, twolf).
+ *
+ * Licensed SPEC sources/inputs are unavailable, so each benchmark is
+ * modeled as a parameterized program whose *instruction-supply
+ * behaviour* matches what drives Figure 10: the size of the hot code
+ * working set, the call density, and the loop structure.  The
+ * parameters are calibrated so that, like the paper's measurements,
+ * the proxies have near-zero I-cache miss ratios except gcc (~0.5%)
+ * and crafty (~0.3%).  Everything downstream (how much NL and CGP
+ * help) is measured, not scripted.
+ *
+ * Each proxy has a "test" input (used to generate OM profiles, as
+ * the paper does) and a "train" input (measured).
+ */
+
+#ifndef CGP_SPEC_CPU2000_HH
+#define CGP_SPEC_CPU2000_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/registry.hh"
+#include "trace/events.hh"
+#include "util/rng.hh"
+
+namespace cgp::spec
+{
+
+struct SpecProgramSpec
+{
+    std::string name;
+
+    /** Total functions (hot working set + cold tail). */
+    unsigned functions = 40;
+
+    /** Functions the random walk actually visits. */
+    unsigned hotFunctions = 10;
+
+    /** Mean straight-line instructions between calls. */
+    double workPerCall = 300.0;
+
+    /** Static callees per function. */
+    unsigned fanout = 4;
+
+    /** Probability a step calls deeper (vs returning). */
+    double callBias = 0.5;
+
+    /** Data-dependent branch events per work block. */
+    double branchRate = 0.15;
+
+    /** Taken probability of those branches. */
+    double branchTakenRate = 0.3;
+
+    /** Traced function body size class. */
+    FunctionTraits body = FunctionTraits::medium();
+
+    /** Instructions emitted for the train (measured) input. */
+    std::uint64_t trainInstrs = 6'000'000;
+
+    /** Instructions emitted for the test (profile) input. */
+    std::uint64_t testInstrs = 800'000;
+};
+
+/** The seven benchmarks of Figure 10, in paper order. */
+std::vector<SpecProgramSpec> cpu2000Suite();
+
+/**
+ * A generated proxy program: declares its functions in a registry
+ * and emits traces for either input set.
+ */
+class SpecProgram
+{
+  public:
+    SpecProgram(FunctionRegistry &registry,
+                const SpecProgramSpec &spec);
+
+    /** Emit a trace of ~@p instrs instructions with @p seed. */
+    void emit(TraceBuffer &out, std::uint64_t instrs,
+              std::uint64_t seed) const;
+
+    /** Test input (profile generation). */
+    void emitTest(TraceBuffer &out) const;
+
+    /** Train input (measurement). */
+    void emitTrain(TraceBuffer &out) const;
+
+    const SpecProgramSpec &spec() const { return spec_; }
+
+  private:
+    SpecProgramSpec spec_;
+    std::vector<FunctionId> funcs_;
+    std::vector<std::vector<FunctionId>> callees_;
+};
+
+} // namespace cgp::spec
+
+#endif // CGP_SPEC_CPU2000_HH

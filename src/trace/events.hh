@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Compact dynamic trace representation.
+ *
+ * A trace is a flat sequence of 64-bit packed events recorded while
+ * the workload (DBMS, SPEC proxy) executes natively.  Events are
+ * layout independent: they name functions and work amounts, never
+ * addresses of code.  Data addresses (buffer pool pages, tuples) are
+ * synthetic data-segment addresses chosen by the workload.
+ */
+
+#ifndef CGP_TRACE_EVENTS_HH
+#define CGP_TRACE_EVENTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace cgp
+{
+
+enum class EventKind : std::uint8_t
+{
+    Call = 1,   ///< enter function (payload: FunctionId)
+    Return = 2, ///< leave current function
+    Work = 3,   ///< straight-line work (payload: instruction count)
+    Branch = 4, ///< data-dependent branch (payload: taken bit)
+    Load = 5,   ///< explicit data read (payload: address)
+    Store = 6,  ///< explicit data write (payload: address)
+    Switch = 7  ///< context switch (payload: thread id)
+};
+
+/** One packed event: kind in the top 4 bits, payload below. */
+class TraceEvent
+{
+  public:
+    static constexpr unsigned kindShift = 60;
+    static constexpr std::uint64_t payloadMask =
+        (1ull << kindShift) - 1;
+
+    static TraceEvent
+    make(EventKind kind, std::uint64_t payload)
+    {
+        cgp_assert(payload <= payloadMask, "event payload overflow");
+        return TraceEvent(
+            (static_cast<std::uint64_t>(kind) << kindShift) | payload);
+    }
+
+    EventKind
+    kind() const
+    {
+        return static_cast<EventKind>(bits_ >> kindShift);
+    }
+
+    std::uint64_t payload() const { return bits_ & payloadMask; }
+
+    std::uint64_t raw() const { return bits_; }
+    static TraceEvent fromRaw(std::uint64_t raw) { return TraceEvent(raw); }
+
+  private:
+    explicit TraceEvent(std::uint64_t bits) : bits_(bits) {}
+
+    std::uint64_t bits_;
+};
+
+/**
+ * A recorded event sequence plus summary counts.  Summary counts are
+ * maintained on append so the interleaver can meter quanta cheaply.
+ */
+class TraceBuffer
+{
+  public:
+    void
+    append(TraceEvent e)
+    {
+        events_.push_back(e.raw());
+        switch (e.kind()) {
+          case EventKind::Work:
+            approxInstrs_ += e.payload();
+            break;
+          case EventKind::Call:
+            ++calls_;
+            ++approxInstrs_;
+            break;
+          default:
+            ++approxInstrs_;
+            break;
+        }
+    }
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    TraceEvent
+    at(std::size_t i) const
+    {
+        cgp_assert(i < events_.size(), "trace index out of range");
+        return TraceEvent::fromRaw(events_[i]);
+    }
+
+    /** Work-payload-weighted length; used for quantum metering. */
+    std::uint64_t approxInstrs() const { return approxInstrs_; }
+
+    /** Dynamic call count. */
+    std::uint64_t calls() const { return calls_; }
+
+    void
+    clear()
+    {
+        events_.clear();
+        approxInstrs_ = 0;
+        calls_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> events_;
+    std::uint64_t approxInstrs_ = 0;
+    std::uint64_t calls_ = 0;
+};
+
+} // namespace cgp
+
+#endif // CGP_TRACE_EVENTS_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * InstructionExpander: replays a recorded trace against a CodeImage,
+ * producing the dynamic instruction stream the CPU model consumes.
+ *
+ * The same trace expanded against the O5 image and the OM image
+ * yields the two "binaries" the paper compares: identical dynamic
+ * behaviour, different fetch-address streams (block adjacency decides
+ * where jump instructions are needed, exactly like a linker-time
+ * reorder changes taken-branch counts).
+ *
+ * The expander can simultaneously fill an ExecutionProfile — this is
+ * the "profile run of instrumented code" OM requires (paper §5.1).
+ */
+
+#ifndef CGP_TRACE_EXPAND_HH
+#define CGP_TRACE_EXPAND_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/layout.hh"
+#include "codegen/profile.hh"
+#include "codegen/registry.hh"
+#include "trace/dyninst.hh"
+#include "trace/events.hh"
+#include "util/types.hh"
+
+namespace cgp
+{
+
+struct ExpanderConfig
+{
+    /**
+     * Dynamic-instruction scale applied to Work payloads.  The paper
+     * reports that OM's link-time re-optimizations cut the dynamic
+     * instruction count by 12% relative to O5; the harness sets 0.88
+     * for OM images.
+     */
+    double instrScale = 1.0;
+
+    /** Every k-th work instruction is a stack-local load. */
+    unsigned stackLoadEvery = 5;
+
+    /** Every k-th work instruction is a stack-local store. */
+    unsigned stackStoreEvery = 17;
+
+    /** Every k-th work instruction needs the multiplier FU. */
+    unsigned mulEvery = 23;
+};
+
+class InstructionExpander
+{
+  public:
+    InstructionExpander(const FunctionRegistry &registry,
+                        const CodeImage &image,
+                        const TraceBuffer &trace,
+                        ExpanderConfig config = {});
+
+    /** Attach a profile to be filled during expansion (may be null). */
+    void setProfile(ExecutionProfile *profile) { profile_ = profile; }
+
+    /**
+     * Produce the next dynamic instruction.
+     * @return false when the trace is exhausted.
+     */
+    bool next(DynInst &out);
+
+    /// @{ Expansion statistics (valid incrementally).
+    std::uint64_t emittedInstrs() const { return emitted_; }
+    std::uint64_t emittedCalls() const { return calls_; }
+    std::uint64_t emittedBranches() const { return branches_; }
+    std::uint64_t emittedJumps() const { return jumps_; }
+    std::uint64_t emittedLoads() const { return loads_; }
+    std::uint64_t emittedStores() const { return stores_; }
+
+    /** Mean instructions between successive calls (paper §5.4: ~43). */
+    double
+    instrsPerCall() const
+    {
+        return calls_ == 0
+            ? 0.0
+            : static_cast<double>(emitted_)
+                / static_cast<double>(calls_);
+    }
+    /// @}
+
+  private:
+    /** One live function invocation on a thread's stack. */
+    struct Activation
+    {
+        FunctionId fid;
+        std::uint32_t walkIdx;   ///< position in hotWalk
+        std::uint16_t block;     ///< current block index
+        std::uint16_t offset;    ///< instructions emitted in block
+        std::uint16_t usable;    ///< slots before a cross is needed
+        bool needJump;           ///< cross requires a jump instr
+        std::uint8_t decisionRR; ///< round-robin decision site
+        /**
+         * Per-invocation path diversity: after the entry block, the
+         * walk dispatches to this hot-walk position (successive
+         * invocations exercise different parts of the body, the way
+         * argument-dependent control flow does in real code).  ~0u
+         * means no pending dispatch.
+         */
+        std::uint32_t pendingDispatch;
+
+        /** Phase-stable path shape: skip parameters + counter. */
+        std::uint32_t pathMix;
+        std::uint16_t crossCount;
+    };
+
+    struct ThreadState
+    {
+        std::vector<Activation> stack;
+        Addr stackBase = 0;
+        std::uint64_t workCounter = 0;
+    };
+
+    /** Drain one more instruction from the current Work burst. */
+    void emitWorkInstr();
+
+    /** Process trace events until something is queued. */
+    bool refill();
+
+    void processCall(FunctionId callee);
+    void processReturn();
+    void processBranch(bool taken);
+    void processMem(EventKind kind, Addr addr);
+
+    /** Address of the next instruction slot of @p act. */
+    Addr curPc(const Activation &act) const;
+
+    /** Emit the cross jump / walk advance when a block is exhausted. */
+    void crossIfNeeded(Activation &act);
+
+    /** The walk position entered after the current block. */
+    std::uint32_t nextWalkIdx(const Activation &act) const;
+
+    /** The block the walk enters after the current one. */
+    std::uint16_t nextWalkBlock(const Activation &act) const;
+
+    /** Advance the hot walk (recording the profile edge). */
+    void advanceWalk(Activation &act);
+
+    /** Initialize block-position fields after entering a block. */
+    void setupBlock(Activation &act);
+
+    /** Queue a fully-formed instruction. */
+    void push(const DynInst &inst);
+
+    /** Fill common fields from the current activation. */
+    DynInst makeInst(const Activation &act, InstKind kind);
+
+    ThreadState &thread() { return threads_[curThread_]; }
+    Activation *top();
+
+    const FunctionRegistry &registry_;
+    const CodeImage &image_;
+    const TraceBuffer &trace_;
+    ExpanderConfig config_;
+    ExecutionProfile *profile_ = nullptr;
+
+    std::size_t eventIdx_ = 0;
+    std::uint64_t curThread_ = 0;
+    /** Per-function invocation counters driving path dispatch. */
+    std::unordered_map<FunctionId, std::uint32_t> invocations_;
+    std::unordered_map<std::uint64_t, ThreadState> threads_;
+    std::deque<DynInst> ready_;
+    std::uint64_t workLeft_ = 0;
+
+    std::uint64_t emitted_ = 0;
+    std::uint64_t calls_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t jumps_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+
+    /** Sequential prologue blocks before the path dispatch. */
+    static constexpr std::uint32_t dispatchAfterBlocks = 3;
+
+    /** Synthetic data segment for thread stacks. */
+    static constexpr Addr stackSegmentBase = 0x7f00'0000;
+    static constexpr Addr stackSegmentStride = 0x10'0000;
+};
+
+} // namespace cgp
+
+#endif // CGP_TRACE_EXPAND_HH

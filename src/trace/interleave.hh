@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Concurrent-query modeling: the paper runs each query as a thread in
+ * the database server.  We record each query's trace separately and
+ * interleave them round-robin with an OS-scheduler stub at each
+ * context switch, reproducing the instruction-cache interference that
+ * concurrency causes (the paper's §2 cites frequent context switches
+ * as a driver of DBMS I-cache misses).
+ */
+
+#ifndef CGP_TRACE_INTERLEAVE_HH
+#define CGP_TRACE_INTERLEAVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/events.hh"
+#include "trace/recorder.hh"
+
+namespace cgp
+{
+
+struct InterleaveConfig
+{
+    /** Approximate instructions per scheduling quantum. */
+    std::uint64_t quantumInstrs = 20000;
+
+    /**
+     * Called at every context switch to record the scheduler's own
+     * execution (on the incoming thread's stack).  May be empty.
+     */
+    std::function<void(TraceRecorder &)> onSwitch;
+};
+
+/**
+ * Merge per-thread traces into one schedule.  Thread i's events are
+ * consumed in order; switches happen at event boundaries once the
+ * quantum is exhausted.  A Switch event (payload = thread id) is
+ * emitted before each thread's slice.
+ */
+TraceBuffer interleaveTraces(
+    const std::vector<const TraceBuffer *> &threads,
+    const InterleaveConfig &config);
+
+} // namespace cgp
+
+#endif // CGP_TRACE_INTERLEAVE_HH

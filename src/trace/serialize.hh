@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace persistence: save a recorded TraceBuffer to a file and load
+ * it back, so expensive workload recordings can be reused across
+ * runs and shared between machines.
+ *
+ * Format: a 16-byte header (magic, version, event count) followed by
+ * the packed 64-bit events in little-endian order, with a trailing
+ * FNV-1a checksum of the event words.
+ */
+
+#ifndef CGP_TRACE_SERIALIZE_HH
+#define CGP_TRACE_SERIALIZE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/events.hh"
+
+namespace cgp
+{
+
+/** Magic bytes identifying a trace file ("CGPTRACE" truncated). */
+constexpr std::uint64_t traceFileMagic = 0x43475054'52414345ull;
+
+/** Current on-disk format version. */
+constexpr std::uint32_t traceFileVersion = 1;
+
+/** Write @p trace to @p os. @return false on stream failure. */
+bool saveTrace(const TraceBuffer &trace, std::ostream &os);
+
+/** Write @p trace to @p path. @return false on I/O failure. */
+bool saveTraceFile(const TraceBuffer &trace, const std::string &path);
+
+/**
+ * Read a trace from @p is.
+ * @return false on stream failure, bad magic/version, or checksum
+ *         mismatch (the buffer is left empty in that case).
+ */
+bool loadTrace(TraceBuffer &trace, std::istream &is);
+
+/** Read a trace from @p path. */
+bool loadTraceFile(TraceBuffer &trace, const std::string &path);
+
+} // namespace cgp
+
+#endif // CGP_TRACE_SERIALIZE_HH

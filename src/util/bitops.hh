@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache and predictor models.
+ */
+
+#ifndef CGP_UTIL_BITOPS_HH
+#define CGP_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cgp
+{
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/** ceil(log2(v)) for v > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace cgp
+
+#endif // CGP_UTIL_BITOPS_HH

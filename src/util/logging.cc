@@ -1,0 +1,60 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cgp
+{
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * When set (by tests), panic/fatal throw instead of terminating so
+ * death paths can be exercised without forking.
+ */
+bool throwOnError = false;
+
+} // anonymous namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwOnError)
+        throw std::logic_error("panic: " + msg);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace cgp

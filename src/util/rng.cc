@@ -1,0 +1,130 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    cgp_assert(bound != 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v > limit);
+    return v % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    cgp_assert(lo <= hi, "nextRange with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double mean)
+{
+    cgp_assert(mean >= 1.0, "geometric mean must be >= 1");
+    if (mean == 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    double u = nextDouble();
+    // Clamp away from 0 so log() is finite.
+    u = std::max(u, 1e-18);
+    const double v = std::ceil(std::log(u) / std::log(1.0 - p));
+    return static_cast<std::uint64_t>(std::max(v, 1.0));
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xdeadbeefcafef00dull);
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+{
+    cgp_assert(n > 0, "zipf domain must be nonempty");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+std::uint64_t
+ZipfGenerator::next(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace cgp

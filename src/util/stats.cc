@@ -1,0 +1,149 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+Distribution::Distribution(std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t bucket_size)
+    : lo_(lo), bucketSize_(bucket_size)
+{
+    cgp_assert(bucket_size > 0, "bucket size must be positive");
+    cgp_assert(hi >= lo, "distribution range inverted");
+    buckets_.resize((hi - lo) / bucket_size + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    samples_ += count;
+    sum_ += value * count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    if (value < lo_) {
+        underflow_ += count;
+    } else {
+        const std::size_t idx = (value - lo_) / bucketSize_;
+        if (idx >= buckets_.size())
+            overflow_ += count;
+        else
+            buckets_[idx] += count;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = sum_ = 0;
+    min_ = ~0ull;
+    max_ = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *counter,
+                      const std::string &desc)
+{
+    cgp_assert(counter != nullptr, "null counter registered");
+    counters_.emplace_back(name, CounterEntry{counter, desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &name,
+                           const Distribution *dist,
+                           const std::string &desc)
+{
+    cgp_assert(dist != nullptr, "null distribution registered");
+    dists_.emplace_back(name, DistEntry{dist, desc});
+}
+
+void
+StatGroup::addFormula(const std::string &name,
+                      std::function<double()> fn,
+                      const std::string &desc)
+{
+    cgp_assert(fn != nullptr, "null formula registered");
+    formulas_.emplace_back(name, FormulaEntry{std::move(fn), desc});
+}
+
+void
+StatGroup::addChild(const StatGroup *child)
+{
+    cgp_assert(child != nullptr, "null child group");
+    children_.push_back(child);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    for (const auto &[n, e] : counters_) {
+        if (n == name)
+            return e.counter->value();
+    }
+    cgp_panic("unknown counter '", name, "' in group '", name_, "'");
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    for (const auto &[n, e] : counters_) {
+        (void)e;
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+double
+StatGroup::formulaValue(const std::string &name) const
+{
+    for (const auto &[n, e] : formulas_) {
+        if (n == name)
+            return e.fn();
+    }
+    cgp_panic("unknown formula '", name, "' in group '", name_, "'");
+}
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << pad << name_ << "\n";
+    for (const auto &[n, e] : counters_) {
+        os << pad << "  " << std::left << std::setw(36) << n
+           << std::right << std::setw(16) << e.counter->value()
+           << "  # " << e.desc << "\n";
+    }
+    for (const auto &[n, e] : formulas_) {
+        os << pad << "  " << std::left << std::setw(36) << n
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(4) << e.fn()
+           << "  # " << e.desc << "\n";
+    }
+    for (const auto &[n, e] : dists_) {
+        os << pad << "  " << std::left << std::setw(36) << n
+           << std::right
+           << " samples=" << e.dist->samples()
+           << " mean=" << std::fixed << std::setprecision(2)
+           << e.dist->mean()
+           << " min=" << (e.dist->samples() ? e.dist->minValue() : 0)
+           << " max=" << e.dist->maxValue()
+           << "  # " << e.desc << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, indent + 1);
+}
+
+} // namespace cgp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics framework in the gem5 spirit.
+ *
+ * Simulation components register named statistics in a StatGroup; a
+ * group can be dumped as an aligned text report or walked
+ * programmatically by the benchmark harness.  Counters are plain
+ * uint64 values (no sampling), Distributions bucket observed values,
+ * and derived ratios are computed at dump time by Formula callbacks.
+ */
+
+#ifndef CGP_UTIL_STATS_HH
+#define CGP_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgp
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A running distribution: min/max/mean plus fixed-width buckets.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param lo Lowest bucketed value.
+     * @param hi Highest bucketed value (inclusive).
+     * @param bucketSize Width of each bucket.
+     */
+    Distribution(std::uint64_t lo, std::uint64_t hi,
+                 std::uint64_t bucketSize);
+
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t total() const { return sum_; }
+    double mean() const;
+    std::uint64_t minValue() const { return min_; }
+    std::uint64_t maxValue() const { return max_; }
+
+    /** Count in bucket @p i; bucket 0 covers [lo, lo+bucketSize). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+
+    void reset();
+
+  private:
+    std::uint64_t lo_;
+    std::uint64_t bucketSize_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of statistics with optional nested groups.
+ *
+ * Components own their Counters directly (for fast increment) and
+ * register pointers here for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under @p name with a describing @p desc. */
+    void addCounter(const std::string &name, const Counter *counter,
+                    const std::string &desc);
+
+    /** Register a distribution. */
+    void addDistribution(const std::string &name,
+                         const Distribution *dist,
+                         const std::string &desc);
+
+    /** Register a value computed at dump time (ratios etc.). */
+    void addFormula(const std::string &name,
+                    std::function<double()> fn,
+                    const std::string &desc);
+
+    /** Attach a child group (not owned). */
+    void addChild(const StatGroup *child);
+
+    const std::string &name() const { return name_; }
+
+    /** Look up a registered counter value; panics if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Look up a formula value; panics if absent. */
+    double formulaValue(const std::string &name) const;
+
+    /** True if a counter with this name is registered. */
+    bool hasCounter(const std::string &name) const;
+
+    /** Write an aligned text report (recursing into children). */
+    void dump(std::ostream &os, int indent = 0) const;
+
+  private:
+    struct CounterEntry { const Counter *counter; std::string desc; };
+    struct DistEntry { const Distribution *dist; std::string desc; };
+    struct FormulaEntry
+    {
+        std::function<double()> fn;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<std::pair<std::string, CounterEntry>> counters_;
+    std::vector<std::pair<std::string, DistEntry>> dists_;
+    std::vector<std::pair<std::string, FormulaEntry>> formulas_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace cgp
+
+#endif // CGP_UTIL_STATS_HH

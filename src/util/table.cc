@@ -1,0 +1,108 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace cgp
+{
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRule()
+{
+    rows_.push_back({ruleMarker});
+}
+
+std::string
+TablePrinter::num(std::uint64_t v)
+{
+    // Group digits for readability: 1234567 -> 1,234,567.
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TablePrinter::fixed(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::percent(double fraction, int precision)
+{
+    return fixed(fraction * 100.0, precision) + "%";
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &row) {
+        if (!row.empty() && row[0] == ruleMarker)
+            return;
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    os << std::string(total, '=') << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            const bool left = (i == 0);
+            os << (left ? std::left : std::right)
+               << std::setw(static_cast<int>(widths[i]))
+               << row[i] << "  ";
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == ruleMarker)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(row);
+    }
+    os << std::string(total, '=') << "\n";
+}
+
+} // namespace cgp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CGP_UTIL_TYPES_HH
+#define CGP_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace cgp
+{
+
+/** A (synthetic) code or data address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a traced function in the FunctionRegistry. */
+using FunctionId = std::uint32_t;
+
+/** Sentinel for "no function". */
+constexpr FunctionId invalidFunctionId = ~0u;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~0ull;
+
+} // namespace cgp
+
+#endif // CGP_UTIL_TYPES_HH

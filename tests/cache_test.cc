@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the cache hierarchy: hit/miss semantics, LRU, latencies
+ * through the shared FIFO port, and — most importantly for this
+ * paper — the prefetch classification rules of §5.6 (pref hit /
+ * delayed hit / useless / squashed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "util/rng.hh"
+
+namespace cgp
+{
+namespace
+{
+
+constexpr auto kFetch = AccessSource::DemandFetch;
+constexpr auto kNL = AccessSource::PrefetchNL;
+constexpr auto kCGHC = AccessSource::PrefetchCGHC;
+
+/** Standalone 4-line cache for focused eviction tests. */
+CacheConfig
+tinyConfig()
+{
+    CacheConfig c;
+    c.name = "tiny";
+    c.sizeBytes = 128; // 4 lines
+    c.assoc = 2;
+    c.lineBytes = 32;
+    c.hitLatency = 1;
+    return c;
+}
+
+TEST(Cache, MissThenHitAfterFill)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    Cycle now = 1;
+    const auto miss = cache.access(0x1000, now, kFetch, false);
+    EXPECT_FALSE(miss.hit);
+    // Memory-backed: hitLatency + 80.
+    EXPECT_EQ(miss.readyCycle, now + 81);
+
+    now = miss.readyCycle;
+    cache.tick(now);
+    const auto hit = cache.access(0x1000, now, kFetch, false);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.readyCycle, now + 1);
+    EXPECT_EQ(cache.demandMisses(), 1u);
+    EXPECT_EQ(cache.demandAccesses(), 2u);
+}
+
+TEST(Cache, SubLineAddressesShareALine)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    Cycle now = 1;
+    const auto r = cache.access(0x1000, now, kFetch, false);
+    now = r.readyCycle;
+    cache.tick(now);
+    EXPECT_TRUE(cache.access(0x101F, now, kFetch, false).hit);
+    EXPECT_FALSE(cache.access(0x1020, now, kFetch, false).hit);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2 sets x 2 ways; same-set lines are 64B apart.
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    Cycle now = 1;
+    auto touch = [&](Addr a) {
+        const auto r = cache.access(a, now, kFetch, false);
+        now = std::max(now, r.readyCycle);
+        cache.tick(now);
+    };
+    touch(0x1000);          // set 0
+    touch(0x1040);          // set 0
+    touch(0x1000);          // refresh LRU of 0x1000
+    touch(0x1080);          // set 0: evicts 0x1040
+    EXPECT_TRUE(cache.access(0x1000, now, kFetch, false).hit);
+    EXPECT_FALSE(cache.access(0x1080, now, kFetch, false).hit ==
+                 false);
+    EXPECT_FALSE(cache.access(0x1040, now, kFetch, false).hit);
+}
+
+TEST(Cache, InflightDemandCoalesces)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    const auto first = cache.access(0x1000, 1, kFetch, false);
+    const auto second = cache.access(0x1008, 2, kFetch, false);
+    EXPECT_FALSE(second.hit);
+    EXPECT_TRUE(second.delayedHit);
+    EXPECT_EQ(second.readyCycle, first.readyCycle);
+    EXPECT_EQ(cache.demandMisses(), 1u);
+}
+
+TEST(Cache, PrefetchClassificationPrefHit)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x2000, 1, kNL));
+    cache.tick(200); // fill lands
+    const auto r = cache.access(0x2000, 200, kFetch, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(cache.prefHits(kNL), 1u);
+    EXPECT_EQ(cache.delayedHits(kNL), 0u);
+    EXPECT_EQ(cache.useless(kNL), 0u);
+
+    // Only the FIRST touch counts as a pref hit.
+    cache.access(0x2000, 201, kFetch, false);
+    EXPECT_EQ(cache.prefHits(kNL), 1u);
+}
+
+TEST(Cache, PrefetchClassificationDelayedHit)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x2000, 1, kCGHC));
+    // Demand arrives before the fill completes.
+    const auto r = cache.access(0x2000, 3, kFetch, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.delayedHit);
+    EXPECT_EQ(cache.delayedHits(kCGHC), 1u);
+    // It is not a demand miss: the prefetch already owns the fill.
+    EXPECT_EQ(cache.demandMisses(), 0u);
+}
+
+TEST(Cache, PrefetchClassificationUselessOnEviction)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x1000, 1, kNL)); // set 0
+    cache.tick(200);
+    // Two demand lines push it out of the 2-way set.
+    Cycle now = 200;
+    for (Addr a : {0x1040, 0x1080}) {
+        const auto r = cache.access(a, now, kFetch, false);
+        now = r.readyCycle;
+        cache.tick(now);
+    }
+    EXPECT_EQ(cache.useless(kNL), 1u);
+}
+
+TEST(Cache, PrefetchClassificationUselessAtFinalize)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x2000, 1, kNL));
+    cache.tick(200);                        // filled, never touched
+    ASSERT_TRUE(cache.prefetch(0x3000, 201, kCGHC)); // still in flight
+    cache.finalize();
+    EXPECT_EQ(cache.useless(kNL), 1u);
+    EXPECT_EQ(cache.useless(kCGHC), 1u);
+}
+
+TEST(Cache, PrefetchSquashedWhenPresentOrInflight)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x2000, 1, kNL));
+    EXPECT_FALSE(cache.prefetch(0x2000, 2, kNL)); // in flight
+    cache.tick(200);
+    EXPECT_FALSE(cache.prefetch(0x2000, 201, kNL)); // resident
+    EXPECT_EQ(cache.squashedPrefetches(), 2u);
+    EXPECT_EQ(cache.prefetchesIssued(kNL), 1u);
+}
+
+TEST(Cache, DemandedInflightPrefetchNotUselessLater)
+{
+    Cache cache(tinyConfig(), nullptr, nullptr);
+    ASSERT_TRUE(cache.prefetch(0x1000, 1, kNL));
+    cache.access(0x1000, 2, kFetch, false); // delayed hit
+    cache.tick(300);
+    // Evict it: must NOT count as useless (it was used).
+    Cycle now = 300;
+    for (Addr a : {0x1040, 0x1080}) {
+        const auto r = cache.access(a, now, kFetch, false);
+        now = r.readyCycle;
+        cache.tick(now);
+    }
+    EXPECT_EQ(cache.useless(kNL), 0u);
+    EXPECT_EQ(cache.delayedHits(kNL), 1u);
+}
+
+TEST(Hierarchy, LatenciesMatchTable1)
+{
+    MemoryHierarchy mem;
+    // L1 miss, L2 miss -> memory: ~1 (port) + 16 + 80.
+    const auto r1 = mem.l1i().access(0x400000, 10, kFetch, false);
+    EXPECT_GE(r1.readyCycle, 10 + 16 + 80);
+    EXPECT_LE(r1.readyCycle, 10 + 2 + 16 + 80);
+
+    mem.tick(r1.readyCycle);
+    // L1 hit now.
+    const auto r2 = mem.l1i().access(0x400000, r1.readyCycle, kFetch,
+                                     false);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(r2.readyCycle, r1.readyCycle + 1);
+
+    // A different L1 line in the same (now valid) L2 line: L2 hit.
+    // L2 lines are 32B here, so force a fresh L1 line whose L2 entry
+    // was filled: reuse the same line after evicting from L1 only is
+    // complex — instead verify an L2 hit via a second fetch of an
+    // L2-resident line after L1 eviction pressure.
+    Cycle now = r1.readyCycle + 1;
+    // Fill many lines mapping to the same L1 set (stride = L1 size /
+    // assoc = 16KB) to evict 0x400000 from L1 but not from 1MB L2.
+    for (int i = 1; i <= 3; ++i) {
+        const auto r = mem.l1i().access(0x400000 + i * 16 * 1024, now,
+                                        kFetch, false);
+        now = r.readyCycle;
+        mem.tick(now);
+    }
+    const auto r3 = mem.l1i().access(0x400000, now, kFetch, false);
+    EXPECT_FALSE(r3.hit);
+    // Served from L2: ~1 (port) + 16, well below a memory trip.
+    EXPECT_LE(r3.readyCycle, now + 20);
+    EXPECT_GE(r3.readyCycle, now + 16);
+}
+
+TEST(Hierarchy, PortSharedBetweenIAndD)
+{
+    MemoryHierarchy mem;
+    const auto before = mem.port().requests();
+    mem.l1i().access(0x400000, 1, kFetch, false);
+    mem.l1d().access(0x800000, 1, AccessSource::DemandData, false);
+    EXPECT_EQ(mem.port().requests(), before + 2);
+}
+
+TEST(MemoryPort, FifoBandwidthLimitsStarts)
+{
+    MemoryPort port;
+    // Issue 6 requests in the same cycle: starts must spread out at
+    // `bandwidth` per cycle and never decrease.
+    Cycle prev = 0;
+    std::map<Cycle, int> per_cycle;
+    for (int i = 0; i < 6; ++i) {
+        const Cycle s = port.request(10);
+        EXPECT_GE(s, prev);
+        prev = s;
+        ++per_cycle[s];
+    }
+    for (const auto &[cycle, n] : per_cycle)
+        EXPECT_LE(n, static_cast<int>(MemoryPort::bandwidth));
+    EXPECT_EQ(port.requests(), 6u);
+}
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometryTest, RandomAccessStreamInvariants)
+{
+    const auto [size_kb, assoc] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = size_kb * 1024;
+    cfg.assoc = assoc;
+    cfg.lineBytes = 32;
+    Cache cache(cfg, nullptr, nullptr);
+
+    Rng rng(size_kb * 131 + assoc);
+    Cycle now = 1;
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = 0x400000 + (rng.next() & 0x3ffff);
+        const bool write = rng.nextBool(0.2);
+        if (rng.nextBool(0.1)) {
+            cache.prefetch(a, now, kNL);
+        } else {
+            cache.access(a, now, kFetch, write);
+            ++accesses;
+        }
+        ++now;
+        cache.tick(now);
+    }
+    cache.finalize();
+
+    EXPECT_EQ(cache.demandAccesses(), accesses);
+    EXPECT_LE(cache.demandMisses(), cache.demandAccesses());
+    // Conservation: every issued prefetch is classified exactly once.
+    EXPECT_EQ(cache.prefetchesIssued(kNL),
+              cache.prefHits(kNL) + cache.delayedHits(kNL) +
+                  cache.useless(kNL));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(4u, 2u),
+                      std::make_pair(32u, 2u),
+                      std::make_pair(32u, 8u),
+                      std::make_pair(64u, 4u)));
+
+} // namespace
+} // namespace cgp

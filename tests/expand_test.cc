@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the instruction expander: structural invariants of the
+ * emitted stream, layout independence of the dynamic behaviour, and
+ * the control-flow bookkeeping CGP depends on (call/return pairing,
+ * function identity, return targets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codegen/layout.hh"
+#include "trace/expand.hh"
+#include "trace/recorder.hh"
+
+namespace cgp
+{
+namespace
+{
+
+struct StreamFixture
+{
+    FunctionRegistry reg;
+    TraceBuffer trace;
+    FunctionId a, b, c;
+
+    StreamFixture()
+    {
+        a = reg.declare("A", FunctionTraits::medium());
+        b = reg.declare("B", FunctionTraits::small());
+        c = reg.declare("C", FunctionTraits::tiny());
+
+        TraceRecorder rec(trace);
+        rec.call(a);
+        for (int i = 0; i < 20; ++i) {
+            rec.work(40);
+            rec.call(b);
+            rec.work(25);
+            rec.loadAt(0x1000'0000 + i * 64);
+            rec.call(c);
+            rec.work(8);
+            rec.ret();
+            rec.branch(i % 3 == 0);
+            rec.ret();
+            rec.storeAt(0x1000'4000 + i * 32);
+        }
+        rec.ret();
+    }
+};
+
+std::vector<DynInst>
+expandAll(const FunctionRegistry &reg, const CodeImage &image,
+          const TraceBuffer &trace, ExecutionProfile *profile = nullptr)
+{
+    InstructionExpander ex(reg, image, trace);
+    if (profile != nullptr)
+        ex.setProfile(profile);
+    std::vector<DynInst> out;
+    DynInst inst;
+    while (ex.next(inst))
+        out.push_back(inst);
+    return out;
+}
+
+TEST(Expander, EmitsBalancedCallsAndReturns)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const auto stream =
+        expandAll(s.reg, builder.buildOriginal(), s.trace);
+
+    int depth = 0;
+    std::uint64_t calls = 0, rets = 0;
+    for (const auto &inst : stream) {
+        if (inst.kind == InstKind::Call) {
+            ++depth;
+            ++calls;
+        } else if (inst.kind == InstKind::Return) {
+            --depth;
+            ++rets;
+        }
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(calls, rets);
+    EXPECT_EQ(calls, 41u); // 1 root + 20 * (B + C)
+}
+
+TEST(Expander, PcsStayInsideTheOwningFunction)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    const auto stream = expandAll(s.reg, image, s.trace);
+
+    for (const auto &inst : stream) {
+        if (inst.func == invalidFunctionId)
+            continue; // root call site
+        const Function &f = s.reg.function(inst.func);
+        // The pc must land inside one of the function's blocks.
+        bool inside = false;
+        for (std::uint16_t b = 0;
+             b < static_cast<std::uint16_t>(f.blocks.size()); ++b) {
+            const Addr base = image.blockAddr(inst.func, b);
+            if (inst.pc >= base &&
+                inst.pc < base + f.blocks[b].sizeBytes()) {
+                inside = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(inside) << "pc outside function body";
+        EXPECT_EQ(inst.funcStart, image.funcStart(inst.func));
+    }
+}
+
+TEST(Expander, CallsCarryCalleeIdentity)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    const auto stream = expandAll(s.reg, image, s.trace);
+
+    for (const auto &inst : stream) {
+        if (inst.kind != InstKind::Call)
+            continue;
+        ASSERT_NE(inst.otherFunc, invalidFunctionId);
+        EXPECT_EQ(inst.target, image.funcStart(inst.otherFunc));
+        EXPECT_EQ(inst.otherFuncStart, inst.target);
+        EXPECT_TRUE(inst.taken);
+    }
+}
+
+TEST(Expander, ReturnsTargetTheCallerResumePoint)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    const auto stream = expandAll(s.reg, image, s.trace);
+
+    // After each return into a traced function, the next emitted
+    // instruction must be at the return's target.
+    for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+        const auto &inst = stream[i];
+        if (inst.kind != InstKind::Return)
+            continue;
+        if (inst.otherFunc == invalidFunctionId)
+            continue; // root return
+        EXPECT_EQ(stream[i + 1].pc, inst.target);
+        EXPECT_EQ(stream[i + 1].func, inst.otherFunc);
+        EXPECT_EQ(inst.otherFuncStart,
+                  image.funcStart(inst.otherFunc));
+    }
+}
+
+TEST(Expander, TakenControlFlowIsConsistent)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    const auto stream = expandAll(s.reg, image, s.trace);
+
+    for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+        const auto &inst = stream[i];
+        if (inst.kind == InstKind::Jump) {
+            EXPECT_TRUE(inst.taken);
+            EXPECT_EQ(stream[i + 1].pc, inst.target);
+        } else if (inst.kind == InstKind::CondBranch && inst.taken) {
+            EXPECT_EQ(stream[i + 1].pc, inst.target);
+        } else if (inst.kind == InstKind::CondBranch) {
+            // Not taken: fall through.
+            EXPECT_EQ(stream[i + 1].pc, inst.pc + instrBytes);
+        }
+    }
+}
+
+TEST(Expander, SameDynamicsUnderBothLayouts)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    ExecutionProfile profile;
+    const auto o5 = expandAll(s.reg, builder.buildOriginal(), s.trace,
+                              &profile);
+    const auto om = expandAll(
+        s.reg, builder.buildPettisHansen(profile), s.trace);
+
+    auto count = [](const std::vector<DynInst> &v, InstKind k) {
+        std::size_t n = 0;
+        for (const auto &i : v)
+            n += i.kind == k ? 1 : 0;
+        return n;
+    };
+    // Calls, returns, branches, loads and stores are layout
+    // independent; only Jump counts differ (layout adjacency).
+    EXPECT_EQ(count(o5, InstKind::Call), count(om, InstKind::Call));
+    EXPECT_EQ(count(o5, InstKind::Return),
+              count(om, InstKind::Return));
+    EXPECT_EQ(count(o5, InstKind::CondBranch),
+              count(om, InstKind::CondBranch));
+    EXPECT_EQ(count(o5, InstKind::Load) + count(o5, InstKind::Store),
+              count(om, InstKind::Load) + count(om, InstKind::Store));
+    // The OM layout straightens the walk: fewer jumps.
+    EXPECT_LE(count(om, InstKind::Jump), count(o5, InstKind::Jump));
+}
+
+TEST(Expander, InstrScaleShrinksWork)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+
+    InstructionExpander full(s.reg, image, s.trace);
+    ExpanderConfig scaled_cfg;
+    scaled_cfg.instrScale = 0.88;
+    InstructionExpander scaled(s.reg, image, s.trace, scaled_cfg);
+
+    DynInst inst;
+    while (full.next(inst)) {
+    }
+    while (scaled.next(inst)) {
+    }
+    EXPECT_LT(scaled.emittedInstrs(), full.emittedInstrs());
+    // Work dominates this trace, so the ratio lands near 0.88.
+    const double ratio =
+        static_cast<double>(scaled.emittedInstrs()) /
+        static_cast<double>(full.emittedInstrs());
+    EXPECT_NEAR(ratio, 0.88, 0.05);
+}
+
+TEST(Expander, DeterministicAcrossRuns)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    const auto one = expandAll(s.reg, image, s.trace);
+    const auto two = expandAll(s.reg, image, s.trace);
+    ASSERT_EQ(one.size(), two.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].pc, two[i].pc);
+        EXPECT_EQ(one[i].kind, two[i].kind);
+    }
+}
+
+TEST(Expander, StatsAccounting)
+{
+    StreamFixture s;
+    LayoutBuilder builder(s.reg);
+    const CodeImage image = builder.buildOriginal();
+    InstructionExpander ex(s.reg, image, s.trace);
+    DynInst inst;
+    std::uint64_t n = 0;
+    while (ex.next(inst))
+        ++n;
+    EXPECT_EQ(ex.emittedInstrs(), n);
+    EXPECT_EQ(ex.emittedCalls(), 41u);
+    EXPECT_GT(ex.emittedLoads(), 0u);
+    EXPECT_GT(ex.emittedStores(), 0u);
+    EXPECT_GT(ex.instrsPerCall(), 1.0);
+}
+
+TEST(Expander, ContextSwitchesKeepPerThreadStacks)
+{
+    FunctionRegistry reg;
+    const auto a = reg.declare("A", FunctionTraits::medium());
+    const auto b = reg.declare("B", FunctionTraits::medium());
+
+    // Hand-build a two-thread interleaving that switches while
+    // thread 0 is two frames deep.
+    TraceBuffer trace;
+    trace.append(TraceEvent::make(EventKind::Switch, 0));
+    trace.append(TraceEvent::make(EventKind::Call, a));
+    trace.append(TraceEvent::make(EventKind::Work, 10));
+    trace.append(TraceEvent::make(EventKind::Call, b));
+    trace.append(TraceEvent::make(EventKind::Work, 5));
+    trace.append(TraceEvent::make(EventKind::Switch, 1));
+    trace.append(TraceEvent::make(EventKind::Call, b));
+    trace.append(TraceEvent::make(EventKind::Work, 7));
+    trace.append(TraceEvent::make(EventKind::Return, 0));
+    trace.append(TraceEvent::make(EventKind::Switch, 0));
+    trace.append(TraceEvent::make(EventKind::Work, 5));
+    trace.append(TraceEvent::make(EventKind::Return, 0));
+    trace.append(TraceEvent::make(EventKind::Return, 0));
+
+    LayoutBuilder builder(reg);
+    const CodeImage image = builder.buildOriginal();
+    InstructionExpander ex(reg, image, trace);
+    std::vector<DynInst> stream;
+    DynInst inst;
+    while (ex.next(inst))
+        stream.push_back(inst);
+
+    // Thread 0's final returns unwind B then A.
+    std::vector<FunctionId> returns;
+    for (const auto &i : stream) {
+        if (i.kind == InstKind::Return)
+            returns.push_back(i.func);
+    }
+    ASSERT_EQ(returns.size(), 3u);
+    EXPECT_EQ(returns[0], b); // thread 1's B
+    EXPECT_EQ(returns[1], b); // thread 0's B
+    EXPECT_EQ(returns[2], a); // thread 0's A
+}
+
+} // namespace
+} // namespace cgp

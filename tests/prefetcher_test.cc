@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the prefetchers: next-N-line, run-ahead NL, and the
+ * assembled CGP prefetcher driving real prefetches into an L1-I.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "prefetch/cgp.hh"
+#include "prefetch/nextline.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace cgp
+{
+namespace
+{
+
+CacheConfig
+l1iConfig()
+{
+    CacheConfig c;
+    c.name = "l1i";
+    c.sizeBytes = 32 * 1024;
+    c.assoc = 2;
+    c.lineBytes = 32;
+    c.hitLatency = 1;
+    return c;
+}
+
+TEST(NextNLine, PrefetchesExactlyNLinesAhead)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    NextNLinePrefetcher nl(l1i, 4);
+    nl.onFetchLine(0x400000, 1);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchNL), 4u);
+    l1i.tick(1000);
+    for (Addr a = 0x400020; a <= 0x400080; a += 0x20) {
+        EXPECT_TRUE(l1i.access(a, 1000, AccessSource::DemandFetch,
+                               false)
+                        .hit)
+            << "line " << std::hex << a;
+    }
+    // The trigger line itself was not prefetched.
+    EXPECT_FALSE(
+        l1i.access(0x400000, 1001, AccessSource::DemandFetch, false)
+            .hit);
+}
+
+TEST(NextNLine, SquashesResidentLines)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    NextNLinePrefetcher nl(l1i, 2);
+    nl.onFetchLine(0x400000, 1);
+    l1i.tick(1000);
+    nl.onFetchLine(0x400000, 1000); // both targets resident now
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchNL), 2u);
+    EXPECT_EQ(l1i.squashedPrefetches(), 2u);
+}
+
+TEST(RunAheadNL, SkipsAheadByM)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    RunAheadNLPrefetcher ra(l1i, 2, 4);
+    ra.onFetchLine(0x400000, 1);
+    l1i.tick(1000);
+    // Lines +5 and +6 prefetched; +1..+4 not.
+    EXPECT_FALSE(
+        l1i.access(0x400020, 1000, AccessSource::DemandFetch, false)
+            .hit);
+    EXPECT_TRUE(
+        l1i.access(0x4000A0, 1000, AccessSource::DemandFetch, false)
+            .hit);
+    EXPECT_TRUE(
+        l1i.access(0x4000C0, 1001, AccessSource::DemandFetch, false)
+            .hit);
+}
+
+TEST(Cgp, EmbeddedNLCoversSequentialFetch)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    CgpPrefetcher cgp(l1i, CghcConfig::twoLevel2K32K(), 4);
+    cgp.onFetchLine(0x400000, 1);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchNL), 4u);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 0u);
+}
+
+TEST(Cgp, PrefetchesLearnedCalleeOnReentry)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    CgpPrefetcher cgp(l1i, CghcConfig::twoLevel2K32K(), 2);
+
+    const Addr F = 0x400000, G = 0x404100;
+
+    // First invocation: F (entered from root) calls G.
+    cgp.onCall(F, invalidAddr, 1);   // root -> F
+    cgp.onCall(G, F, 10);            // F -> G (records G in F's entry)
+    cgp.onReturn(F, G, 20);          // G -> F
+    cgp.onReturn(invalidAddr, F, 30);
+
+    ASSERT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 0u);
+
+    // Second invocation: entering F prefetches the first 2 lines
+    // of G (the learned first callee).
+    cgp.onCall(F, invalidAddr, 100);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 2u);
+    l1i.tick(1000);
+    EXPECT_TRUE(
+        l1i.access(G, 1000, AccessSource::DemandFetch, false).hit);
+    EXPECT_TRUE(l1i.access(G + 0x20, 1000,
+                           AccessSource::DemandFetch, false)
+                    .hit);
+    // Only the first N lines of the callee are prefetched (CGP_N).
+    EXPECT_FALSE(l1i.access(G + 0x40, 1001,
+                            AccessSource::DemandFetch, false)
+                     .hit);
+}
+
+TEST(Cgp, ReturnPrefetchesNextCalleeInSequence)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    CgpPrefetcher cgp(l1i, CghcConfig::twoLevel2K32K(), 1);
+
+    const Addr F = 0x400000, G = 0x404100, H = 0x408200;
+
+    // Invocation 1: F calls G then H.
+    cgp.onCall(F, invalidAddr, 1);
+    cgp.onCall(G, F, 10);
+    cgp.onReturn(F, G, 20);
+    cgp.onCall(H, F, 30);
+    cgp.onReturn(F, H, 40);
+    cgp.onReturn(invalidAddr, F, 50);
+
+    // Invocation 2: after G returns, the CGHC access keyed by F's
+    // start (from the modified RAS) prefetches H.
+    cgp.onCall(F, invalidAddr, 100);     // prefetches G
+    cgp.onCall(G, F, 110);
+    const auto before =
+        l1i.prefetchesIssued(AccessSource::PrefetchCGHC);
+    cgp.onReturn(F, G, 120);             // should prefetch H
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC),
+              before + 1);
+    l1i.tick(2000);
+    EXPECT_TRUE(
+        l1i.access(H, 2000, AccessSource::DemandFetch, false).hit);
+}
+
+TEST(Cgp, InvalidAddressesAreIgnored)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    CgpPrefetcher cgp(l1i, CghcConfig::twoLevel2K32K(), 4);
+    cgp.onCall(invalidAddr, invalidAddr, 1);
+    cgp.onReturn(invalidAddr, invalidAddr, 2);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 0u);
+    EXPECT_EQ(cgp.cghc().accesses(), 0u);
+}
+
+TEST(Cgp, NamesAndDepths)
+{
+    Cache l1i(l1iConfig(), nullptr, nullptr);
+    CgpPrefetcher cgp(l1i, CghcConfig::twoLevel2K32K(), 4);
+    NextNLinePrefetcher nl(l1i, 2);
+    RunAheadNLPrefetcher ra(l1i, 2, 4);
+    NullPrefetcher none;
+    EXPECT_STREQ(cgp.name(), "cgp");
+    EXPECT_STREQ(nl.name(), "next-n-line");
+    EXPECT_STREQ(ra.name(), "runahead-nl");
+    EXPECT_STREQ(none.name(), "none");
+    EXPECT_EQ(cgp.depth(), 4u);
+    EXPECT_EQ(nl.depth(), 2u);
+}
+
+} // namespace
+} // namespace cgp

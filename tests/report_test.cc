@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the report writers: both forms render the key numbers
+ * and refuse mismatched comparisons.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/report.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+namespace
+{
+
+SimResult
+sample(const char *config, Cycle cycles)
+{
+    SimResult r;
+    r.workload = "w";
+    r.config = config;
+    r.cycles = cycles;
+    r.instrs = 1000;
+    r.icacheAccesses = 400;
+    r.icacheMisses = 40;
+    r.nl.issued = 90;
+    r.nl.prefHits = 50;
+    r.nl.delayedHits = 10;
+    r.nl.useless = 30;
+    r.cghc.issued = 10;
+    r.cghc.prefHits = 8;
+    r.cghc.useless = 2;
+    r.cghcAccesses = 100;
+    r.cghcHits = 80;
+    r.busLines = 123;
+    return r;
+}
+
+TEST(Report, SingleRunContainsKeyMetrics)
+{
+    std::ostringstream os;
+    writeReport(sample("O5+OM+CGP_4", 2000), os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("O5+OM+CGP_4"), std::string::npos);
+    EXPECT_NE(out.find("2,000"), std::string::npos);
+    EXPECT_NE(out.find("I-cache misses"), std::string::npos);
+    EXPECT_NE(out.find("prefetches issued"), std::string::npos);
+    EXPECT_NE(out.find("CGHC hit rate"), std::string::npos);
+}
+
+TEST(Report, ComparisonNormalizesToFirst)
+{
+    std::ostringstream os;
+    writeComparison({sample("A", 1000), sample("B", 500)}, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("1.000"), std::string::npos);
+    EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+TEST(Report, ComparisonRejectsMixedWorkloads)
+{
+    detail::setThrowOnError(true);
+    SimResult a = sample("A", 100);
+    SimResult b = sample("B", 100);
+    b.workload = "other";
+    EXPECT_THROW(
+        {
+            std::ostringstream os;
+            writeComparison({a, b}, os);
+        },
+        std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace cgp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace serialization tests: round trips, corruption detection, and
+ * failure injection (truncation, bad magic, flipped bits).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/recorder.hh"
+#include "trace/serialize.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+namespace
+{
+
+TraceBuffer
+sampleTrace(unsigned n)
+{
+    TraceBuffer buf;
+    TraceRecorder rec(buf);
+    rec.call(1);
+    for (unsigned i = 0; i < n; ++i) {
+        rec.work(25 + i % 7);
+        rec.branch(i % 3 == 0);
+        rec.loadAt(0x1000'0000 + i * 8);
+        if (i % 5 == 0) {
+            rec.call(2);
+            rec.work(9);
+            rec.ret();
+        }
+    }
+    rec.ret();
+    return buf;
+}
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    const TraceBuffer original = sampleTrace(200);
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(original, ss));
+
+    TraceBuffer loaded;
+    ASSERT_TRUE(loadTrace(loaded, ss));
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(loaded.at(i).raw(), original.at(i).raw());
+    EXPECT_EQ(loaded.approxInstrs(), original.approxInstrs());
+    EXPECT_EQ(loaded.calls(), original.calls());
+}
+
+TEST(Serialize, EmptyTraceRoundTrips)
+{
+    TraceBuffer empty, loaded;
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(empty, ss));
+    ASSERT_TRUE(loadTrace(loaded, ss));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    const TraceBuffer original = sampleTrace(10);
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(original, ss));
+    std::string data = ss.str();
+    data[0] = static_cast<char>(data[0] ^ 0x1);
+
+    std::stringstream corrupted(data);
+    TraceBuffer loaded;
+    EXPECT_FALSE(loadTrace(loaded, corrupted));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    const TraceBuffer original = sampleTrace(50);
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(original, ss));
+    const std::string data = ss.str();
+
+    std::stringstream truncated(
+        data.substr(0, data.size() / 2));
+    TraceBuffer loaded;
+    EXPECT_FALSE(loadTrace(loaded, truncated));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, RejectsFlippedEventBit)
+{
+    const TraceBuffer original = sampleTrace(50);
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(original, ss));
+    std::string data = ss.str();
+    // Flip one bit in the middle of the event payloads.
+    data[data.size() / 2] =
+        static_cast<char>(data[data.size() / 2] ^ 0x10);
+
+    std::stringstream corrupted(data);
+    TraceBuffer loaded;
+    EXPECT_FALSE(loadTrace(loaded, corrupted));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const TraceBuffer original = sampleTrace(100);
+    const std::string path = "/tmp/cgp_serialize_test.trace";
+    ASSERT_TRUE(saveTraceFile(original, path));
+    TraceBuffer loaded;
+    ASSERT_TRUE(loadTraceFile(loaded, path));
+    EXPECT_EQ(loaded.size(), original.size());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFails)
+{
+    TraceBuffer loaded;
+    EXPECT_FALSE(
+        loadTraceFile(loaded, "/tmp/does-not-exist.cgp.trace"));
+}
+
+} // namespace
+} // namespace cgp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * End-to-end smoke test: build a tiny DB workload, run it through
+ * the simulator under O5 and OM+CGP, and check basic sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/simulator.hh"
+#include "harness/workload.hh"
+
+namespace cgp
+{
+namespace
+{
+
+TEST(Smoke, SpecWorkloadRuns)
+{
+    spec::SpecProgramSpec spec;
+    spec.name = "smoke";
+    spec.functions = 20;
+    spec.hotFunctions = 10;
+    spec.workPerCall = 50.0;
+    spec.trainInstrs = 50'000;
+    spec.testInstrs = 10'000;
+
+    Workload w = WorkloadFactory::buildSpec(spec);
+    ASSERT_NE(w.trace, nullptr);
+    EXPECT_GT(w.trace->size(), 100u);
+
+    const SimResult o5 = runSimulation(w, SimConfig::o5());
+    EXPECT_GT(o5.instrs, 40'000u);
+    EXPECT_GT(o5.cycles, 0u);
+
+    const SimResult cgp = runSimulation(
+        w, SimConfig::withCgp(LayoutKind::PettisHansen, 4));
+    EXPECT_GT(cgp.instrs, 30'000u);
+    EXPECT_GT(cgp.cghcAccesses, 0u);
+}
+
+} // namespace
+} // namespace cgp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the software CGP variant (paper §6): the frozen,
+ * profile-derived prefetch schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/layout.hh"
+#include "prefetch/software_cgp.hh"
+
+namespace cgp
+{
+namespace
+{
+
+struct SwFixture
+{
+    FunctionRegistry reg;
+    FunctionId f, g, h, cold;
+    CodeImage image;
+    ExecutionProfile profile;
+
+    SwFixture()
+    {
+        f = reg.declare("F", FunctionTraits::medium());
+        g = reg.declare("G", FunctionTraits::small());
+        h = reg.declare("H", FunctionTraits::small());
+        cold = reg.declare("COLD", FunctionTraits::small());
+
+        // Profile: F calls G often, H sometimes; COLD never calls.
+        for (int i = 0; i < 100; ++i)
+            profile.onCall(f, g);
+        for (int i = 0; i < 40; ++i)
+            profile.onCall(f, h);
+        profile.onEntry(f);
+
+        LayoutBuilder builder(reg);
+        image = builder.buildOriginal();
+    }
+
+    CacheConfig
+    l1iConfig() const
+    {
+        CacheConfig c;
+        c.name = "l1i";
+        c.sizeBytes = 32 * 1024;
+        c.assoc = 2;
+        c.lineBytes = 32;
+        return c;
+    }
+};
+
+TEST(SoftwareCgp, CoversOnlyProfiledCallers)
+{
+    SwFixture fx;
+    Cache l1i(fx.l1iConfig(), nullptr, nullptr);
+    SoftwareCgpPrefetcher sw(l1i, fx.reg, fx.image, fx.profile, 2);
+    EXPECT_EQ(sw.coveredFunctions(), 1u); // only F makes calls
+    EXPECT_STREQ(sw.name(), "software-cgp");
+}
+
+TEST(SoftwareCgp, EntryPrefetchesHeaviestCallee)
+{
+    SwFixture fx;
+    Cache l1i(fx.l1iConfig(), nullptr, nullptr);
+    SoftwareCgpPrefetcher sw(l1i, fx.reg, fx.image, fx.profile, 2);
+
+    // Entering F prefetches G (the heaviest profiled callee).
+    sw.onCall(fx.image.funcStart(fx.f), invalidAddr, 1);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 2u);
+    l1i.tick(1000);
+    EXPECT_TRUE(l1i.access(fx.image.funcStart(fx.g), 1000,
+                           AccessSource::DemandFetch, false)
+                    .hit);
+}
+
+TEST(SoftwareCgp, ReturnAdvancesTheStaticSchedule)
+{
+    SwFixture fx;
+    Cache l1i(fx.l1iConfig(), nullptr, nullptr);
+    SoftwareCgpPrefetcher sw(l1i, fx.reg, fx.image, fx.profile, 1);
+
+    sw.onCall(fx.image.funcStart(fx.f), invalidAddr, 1); // -> G
+    sw.onCall(fx.image.funcStart(fx.g),
+              fx.image.funcStart(fx.f), 5);
+    // Returning into F prefetches the next scheduled callee: H.
+    sw.onReturn(fx.image.funcStart(fx.f),
+                fx.image.funcStart(fx.g), 10);
+    l1i.tick(1000);
+    EXPECT_TRUE(l1i.access(fx.image.funcStart(fx.h), 1000,
+                           AccessSource::DemandFetch, false)
+                    .hit);
+
+    // The schedule is exhausted after the last profiled callee.
+    const auto before =
+        l1i.prefetchesIssued(AccessSource::PrefetchCGHC);
+    sw.onReturn(fx.image.funcStart(fx.f), fx.image.funcStart(fx.h),
+                20);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC),
+              before);
+}
+
+TEST(SoftwareCgp, CannotAdaptUnlikeHardware)
+{
+    // A function absent from the profile gets nothing, ever — the
+    // key limitation vs the CGHC.
+    SwFixture fx;
+    Cache l1i(fx.l1iConfig(), nullptr, nullptr);
+    SoftwareCgpPrefetcher sw(l1i, fx.reg, fx.image, fx.profile, 2);
+
+    for (int i = 0; i < 10; ++i) {
+        sw.onCall(fx.image.funcStart(fx.cold), invalidAddr, i * 10);
+        sw.onCall(fx.image.funcStart(fx.g),
+                  fx.image.funcStart(fx.cold), i * 10 + 5);
+        sw.onReturn(fx.image.funcStart(fx.cold),
+                    fx.image.funcStart(fx.g), i * 10 + 8);
+    }
+    // COLD repeatedly calls G at runtime, but the static table was
+    // frozen without it.
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 0u);
+}
+
+TEST(SoftwareCgp, InvalidAddressesIgnored)
+{
+    SwFixture fx;
+    Cache l1i(fx.l1iConfig(), nullptr, nullptr);
+    SoftwareCgpPrefetcher sw(l1i, fx.reg, fx.image, fx.profile, 2);
+    sw.onCall(invalidAddr, invalidAddr, 1);
+    sw.onReturn(invalidAddr, invalidAddr, 2);
+    EXPECT_EQ(l1i.prefetchesIssued(AccessSource::PrefetchCGHC), 0u);
+}
+
+} // namespace
+} // namespace cgp

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG determinism and distribution
+ * sanity, bit helpers, statistics plumbing, table formatting, and
+ * the panic/fatal error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace cgp
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversDomain)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliApproximatesP)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.nextBool(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, GeometricMeanApproximatesTarget)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(40.0));
+    EXPECT_NEAR(sum / n, 40.0, 3.0);
+}
+
+TEST(Rng, GeometricNeverZero)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.nextGeometric(1.5), 1u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto w = v;
+    rng.shuffle(w);
+    auto ws = w;
+    std::sort(ws.begin(), ws.end());
+    EXPECT_EQ(ws, v);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(31);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Zipf, SkewsTowardLowRanks)
+{
+    Rng rng(37);
+    ZipfGenerator zipf(100, 0.99);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = zipf.next(rng);
+        ASSERT_LT(v, 100u);
+        if (v < 10)
+            ++low;
+        if (v >= 90)
+            ++high;
+    }
+    EXPECT_GT(low, high * 3);
+}
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(Bitops, FloorAndCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, Alignment)
+{
+    EXPECT_EQ(alignDown(37, 32), 32u);
+    EXPECT_EQ(alignUp(37, 32), 64u);
+    EXPECT_EQ(alignUp(64, 32), 64u);
+    EXPECT_EQ(alignDown(64, 32), 64u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    Distribution d(0, 99, 10);
+    d.sample(5);
+    d.sample(15, 2);
+    d.sample(200); // overflow
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 2u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.minValue(), 5u);
+    EXPECT_EQ(d.maxValue(), 200u);
+    EXPECT_NEAR(d.mean(), (5 + 15 * 2 + 200) / 4.0, 1e-9);
+}
+
+TEST(Stats, GroupLookupAndDump)
+{
+    Counter hits, misses;
+    hits += 30;
+    misses += 10;
+    StatGroup g("cache");
+    g.addCounter("hits", &hits, "hits");
+    g.addCounter("misses", &misses, "misses");
+    g.addFormula(
+        "ratio",
+        [&]() {
+            return static_cast<double>(misses.value()) /
+                static_cast<double>(hits.value() + misses.value());
+        },
+        "miss ratio");
+
+    EXPECT_EQ(g.counterValue("hits"), 30u);
+    EXPECT_TRUE(g.hasCounter("misses"));
+    EXPECT_FALSE(g.hasCounter("nope"));
+    EXPECT_NEAR(g.formulaValue("ratio"), 0.25, 1e-9);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("hits"), std::string::npos);
+    EXPECT_NE(os.str().find("30"), std::string::npos);
+}
+
+TEST(Stats, GroupChildDump)
+{
+    Counter c;
+    StatGroup parent("parent"), child("child");
+    child.addCounter("c", &c, "desc");
+    parent.addChild(&child);
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("child"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::num(1234567), "1,234,567");
+    EXPECT_EQ(TablePrinter::num(12), "12");
+    EXPECT_EQ(TablePrinter::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::percent(0.256, 1), "25.6%");
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    TablePrinter t("title");
+    t.setHeader({"a", "bbbb"});
+    t.addRow({"x", "1"});
+    t.addRule();
+    t.addRow({"longer", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+}
+
+TEST(Logging, PanicThrowsInTestMode)
+{
+    detail::setThrowOnError(true);
+    EXPECT_THROW(cgp_panic("boom ", 42), std::logic_error);
+    EXPECT_THROW(cgp_fatal("bad config"), std::runtime_error);
+    EXPECT_THROW(cgp_assert(1 == 2, "math broke"), std::logic_error);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
+} // namespace cgp
