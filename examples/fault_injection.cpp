@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fault injection walkthrough: arm faults at the storage engine's
+ * crash points, watch the hardened WAL/recovery path absorb them, and
+ * dump the post-mortem event ring.
+ *
+ *   1. A transient volume error is retried with backoff — invisible
+ *      to the workload beyond a counter.
+ *   2. A crash injected mid-log-force kills the engine between
+ *      device blocks; the crash-loop harness recovers and audits the
+ *      committed-survives / losers-vanish invariant.
+ *   3. A torn log write at the durability boundary is detected by
+ *      the per-record checksum and dropped as the torn tail.
+ *
+ * Build: cmake --build build --target fault_injection
+ * Run:   ./build/examples/fault_injection
+ */
+
+#include <cstdio>
+
+#include "db/crashloop.hh"
+#include "fault/fault.hh"
+#include "util/logging.hh"
+
+int
+main()
+{
+    using namespace cgp;
+
+    std::puts("== registered crash points ==");
+    for (const auto &point : fault::FaultInjector::crashPoints())
+        std::printf("  %s\n", point.c_str());
+
+    // --- 1. Transient I/O: absorbed by retry, not an outage.
+    {
+        std::puts("\n== transient volume error (retried) ==");
+        db::CrashLoopHarness harness;
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::TransientIo;
+        spec.afterHits = 4;
+        spec.count = 2; // errors twice, then the device recovers
+        const auto res = harness.run("volume.write", spec);
+        std::printf("  crashed=%d committed=%llu verified=%llu\n",
+                    res.crashed ? 1 : 0,
+                    static_cast<unsigned long long>(res.committedRows),
+                    static_cast<unsigned long long>(res.verifiedRows));
+    }
+
+    // --- 2. Crash mid-force: the canonical torture test.
+    {
+        std::puts("\n== crash at wal.mid_force ==");
+        db::CrashLoopHarness harness;
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::Crash;
+        spec.afterHits = 6;
+        const auto res = harness.run("wal.mid_force", spec);
+        std::printf("  crashed=%d at '%s'\n", res.crashed ? 1 : 0,
+                    res.crashPoint.c_str());
+        std::printf("  recovery: winners=%u losers=%u redone=%llu "
+                    "undone=%llu tornTail=%llu\n",
+                    res.stats.winners, res.stats.losers,
+                    static_cast<unsigned long long>(res.stats.redone),
+                    static_cast<unsigned long long>(res.stats.undone),
+                    static_cast<unsigned long long>(
+                        res.stats.tornTail));
+        std::printf("  audit: committed=%llu verified=%llu "
+                    "missing=%llu survivingAborted=%llu -> %s\n",
+                    static_cast<unsigned long long>(res.committedRows),
+                    static_cast<unsigned long long>(res.verifiedRows),
+                    static_cast<unsigned long long>(
+                        res.missingCommitted),
+                    static_cast<unsigned long long>(
+                        res.survivingAborted),
+                    res.ok() ? "OK" : "DATA LOSS");
+    }
+
+    // --- 3. Torn log write: detected by checksum, dropped as tail.
+    {
+        std::puts("\n== torn write at the durability boundary ==");
+        db::CrashLoopHarness harness;
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::TornWrite;
+        spec.afterHits = 3;
+        const auto res = harness.run("wal.mid_force", spec);
+        std::printf("  tornTail=%llu corruptRecords=%llu -> %s\n",
+                    static_cast<unsigned long long>(
+                        res.stats.tornTail),
+                    static_cast<unsigned long long>(
+                        res.stats.corruptRecords),
+                    res.ok() ? "OK" : "DATA LOSS");
+    }
+
+    // --- Post-mortem: the ring buffer kept the story.
+    std::puts("\n== last logged events (post-mortem ring) ==");
+    dumpRecentEvents(stdout);
+    return 0;
+}

@@ -13,6 +13,18 @@ namespace
 
 constexpr std::uint32_t keysOffset = 8;
 
+/** Values follow the keys, padded up to 8-byte alignment so the
+ *  uint64 array can be addressed directly. */
+constexpr std::uint32_t
+valsOffset(std::uint32_t max_entries)
+{
+    const std::uint32_t end =
+        keysOffset +
+        static_cast<std::uint32_t>(sizeof(std::int32_t)) *
+            (max_entries + 1);
+    return (end + 7u) & ~7u;
+}
+
 std::uint64_t
 packRid(Rid r)
 {
@@ -34,9 +46,9 @@ BTree::NodeView::NodeView(std::uint8_t *frame)
     : hdr_(reinterpret_cast<NodeHeader *>(frame)),
       keys_(reinterpret_cast<std::int32_t *>(frame + keysOffset)),
       vals_(reinterpret_cast<std::uint64_t *>(
-          frame + keysOffset + sizeof(std::int32_t) * (maxEntries + 1)))
+          frame + valsOffset(maxEntries)))
 {
-    static_assert(keysOffset + sizeof(std::int32_t) * (maxEntries + 1) +
+    static_assert(valsOffset(maxEntries) +
                       sizeof(std::uint64_t) * (maxEntries + 2) <=
                   pageBytes,
                   "B+-tree node layout exceeds the page");

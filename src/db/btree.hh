@@ -84,7 +84,8 @@ class BTree
      *     - leaf: link = right-sibling page
      *     - internal: link = leftmost child
      *   keys:   int32[maxEntries]      at byte 8
-     *   values: leaf Rid-packed uint64 / internal child PageId
+     *   values: leaf Rid-packed uint64 / internal child PageId,
+     *           after the keys, padded to 8-byte alignment
      */
     struct NodeHeader
     {

@@ -11,6 +11,7 @@
 #define CGP_DB_BUFFER_POOL_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,8 @@
 
 namespace cgp::db
 {
+
+class WriteAheadLog;
 
 /** Frame replacement policy. */
 enum class Replacement : std::uint8_t
@@ -40,6 +43,16 @@ class BufferPool
     BufferPool(DbContext &ctx, Volume &volume, std::size_t frames,
                Addr segment_base = bufferSegmentBase,
                Replacement policy = Replacement::Lru);
+
+    /**
+     * Attach the write-ahead log for the WAL rule: before a stolen
+     * (evicted) dirty page or a flush reaches the volume, the log is
+     * forced, so every page image on disk is always describable —
+     * and hence undoable — from the durable log.  Optional: without
+     * a bound log the pool writes pages unconditionally (fine for
+     * log-less uses such as recovery itself).
+     */
+    void bindLog(WriteAheadLog *log) { log_ = log; }
 
     /**
      * Pin page @p pid, reading it from the volume if absent.
@@ -63,6 +76,8 @@ class BufferPool
     unsigned pinCount(PageId pid) const;
     std::uint64_t diskReads() const { return diskReads_; }
     std::uint64_t evictions() const { return evictions_; }
+    /** Transient volume errors absorbed by the retry/backoff path. */
+    std::uint64_t ioRetries() const { return ioRetries_; }
     /// @}
 
   private:
@@ -82,10 +97,21 @@ class BufferPool
     /** Choose and clean an unpinned victim frame. */
     std::size_t evictVictim();
 
+    /**
+     * Run a volume operation, retrying injected transient I/O errors
+     * with capped exponential backoff (modeled as trace work).  After
+     * the retry budget the error propagates to the caller.
+     */
+    void retryIo(TraceScope &ts, const std::function<void()> &op);
+
+    /** WAL rule: force the bound log before a dirty page is stolen. */
+    void forceLogForSteal();
+
     static constexpr std::size_t npos = ~std::size_t{0};
 
     DbContext &ctx_;
     Volume &volume_;
+    WriteAheadLog *log_ = nullptr;
     Addr segmentBase_;
     Replacement policy_;
     std::size_t clockHand_ = 0;
@@ -95,6 +121,7 @@ class BufferPool
     std::uint64_t tick_ = 0;
     std::uint64_t diskReads_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t ioRetries_ = 0;
 };
 
 } // namespace cgp::db

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Crash-loop harness: the storage layer's torture loop.
+ *
+ * One run() builds a fresh database world (volume, WAL, buffer pool,
+ * transaction manager, heap file), arms a single fault at a named
+ * crash point, and drives a seeded transactional workload — inserts
+ * and updates, commits and aborts, a pool deliberately too small so
+ * dirty pages are stolen — until the fault fires (or the workload
+ * finishes).  It then simulates the restart: discard the buffer
+ * pool, truncate the WAL to its durable prefix, run
+ * RecoveryManager::recover, and audit the volume against a shadow
+ * model of the workload: every committed row must read back with its
+ * last committed value, and no aborted or in-flight row may survive.
+ *
+ * Everything is deterministic — the same seed and fault spec replay
+ * the same failure — so the fuzz sweep in the tests can bisect any
+ * regression to one (point, kind, seed) triple.
+ */
+
+#ifndef CGP_DB_CRASHLOOP_HH
+#define CGP_DB_CRASHLOOP_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "db/recovery.hh"
+#include "fault/fault.hh"
+
+namespace cgp::db
+{
+
+struct CrashLoopConfig
+{
+    std::uint64_t seed = 0xc4a5'11ull;
+
+    /** Transactions the workload attempts before a crash-free end. */
+    unsigned txnCount = 48;
+
+    /** Pool frames during the workload; small forces page steals. */
+    std::size_t poolFrames = 4;
+};
+
+struct CrashLoopResult
+{
+    /** True when the armed fault unwound the engine mid-workload. */
+    bool crashed = false;
+
+    /** Crash point that fired (empty for a clean or I/O-failed run). */
+    std::string crashPoint;
+
+    /** True when a transient I/O error exhausted its retry budget. */
+    bool ioGaveUp = false;
+
+    RecoveryManager::Stats stats;
+
+    std::uint64_t committedRows = 0;  ///< rows the shadow model expects
+    std::uint64_t verifiedRows = 0;   ///< rows that read back correctly
+    std::uint64_t missingCommitted = 0; ///< committed rows lost/corrupt
+    std::uint64_t survivingAborted = 0; ///< loser rows still on disk
+
+    /** The invariant every crash must preserve. */
+    bool
+    ok() const
+    {
+        return missingCommitted == 0 && survivingAborted == 0 &&
+            stats.corruptRecords == 0;
+    }
+};
+
+class CrashLoopHarness
+{
+  public:
+    explicit CrashLoopHarness(const CrashLoopConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /**
+     * Run the seeded workload with @p spec armed at @p point, crash,
+     * recover, and audit.  Arm an unreachable schedule (huge
+     * afterHits) to exercise the crash-free path.
+     */
+    CrashLoopResult run(std::string_view point,
+                        const fault::FaultSpec &spec);
+
+  private:
+    CrashLoopConfig config_;
+};
+
+} // namespace cgp::db
+
+#endif // CGP_DB_CRASHLOOP_HH

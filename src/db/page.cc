@@ -17,8 +17,15 @@ SlottedPage::init()
 bool
 SlottedPage::formatted() const
 {
-    return header()->freeOffset >= sizeof(Header) &&
-        header()->freeOffset <= pageBytes;
+    // A torn or never-written page must not pass for a usable one:
+    // besides the free-offset range, the slot directory implied by
+    // the header has to fit between the record heap and the page end.
+    const Header *h = header();
+    if (h->freeOffset < sizeof(Header) || h->freeOffset > pageBytes)
+        return false;
+    const std::uint32_t dir =
+        static_cast<std::uint32_t>(h->slots) * sizeof(Slot);
+    return h->freeOffset + dir <= pageBytes;
 }
 
 std::uint16_t
@@ -81,6 +88,11 @@ SlottedPage::read(std::uint16_t slot, std::uint16_t *len) const
     if (slot >= header()->slots)
         return nullptr;
     const Slot *s = slotEntry(slot);
+    if (s->length == 0) // erased (undo tombstone)
+        return nullptr;
+    if (s->offset < sizeof(Header) ||
+        static_cast<std::uint32_t>(s->offset) + s->length > pageBytes)
+        return nullptr; // corrupt directory entry (torn write)
     if (len != nullptr)
         *len = s->length;
     return frame_ + s->offset;
@@ -95,7 +107,36 @@ SlottedPage::update(std::uint16_t slot, const std::uint8_t *bytes,
     Slot *s = slotEntry(slot);
     if (s->length != len)
         return false;
+    if (s->offset < sizeof(Header) ||
+        static_cast<std::uint32_t>(s->offset) + s->length > pageBytes)
+        return false;
     std::memcpy(frame_ + s->offset, bytes, len);
+    return true;
+}
+
+bool
+SlottedPage::erase(std::uint16_t slot)
+{
+    if (slot >= header()->slots)
+        return false;
+    slotEntry(slot)->length = 0;
+    return true;
+}
+
+bool
+SlottedPage::revive(std::uint16_t slot, const std::uint8_t *bytes,
+                    std::uint16_t len)
+{
+    if (slot >= header()->slots || len == 0)
+        return false;
+    Slot *s = slotEntry(slot);
+    if (s->length != 0)
+        return false; // live slot: use update()
+    if (s->offset < sizeof(Header) ||
+        static_cast<std::uint32_t>(s->offset) + len > pageBytes)
+        return false;
+    std::memcpy(frame_ + s->offset, bytes, len);
+    s->length = len;
     return true;
 }
 

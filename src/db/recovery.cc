@@ -1,5 +1,7 @@
 #include "db/recovery.hh"
 
+#include <vector>
+
 #include "db/page.hh"
 #include "util/logging.hh"
 
@@ -10,58 +12,162 @@ RecoveryManager::Stats
 RecoveryManager::recover(BufferPool &pool)
 {
     Stats stats;
+    const std::vector<LogRecord> &log = log_.records();
 
-    // --- Analysis: winners are transactions with a Commit record.
+    // --- Validate: checksum every surviving record.  Invalid
+    // records at the very end form the torn tail (the interrupted
+    // final force); invalid records elsewhere are isolated
+    // corruption.  Both are excluded from analysis/redo/undo.
+    std::vector<bool> valid(log.size(), true);
+    std::size_t end = log.size(); // records at/after end: torn tail
+    while (end > 0 && !WriteAheadLog::checksumValid(log[end - 1])) {
+        valid[end - 1] = false;
+        ++stats.tornTail;
+        --end;
+    }
+    for (std::size_t i = 0; i < end; ++i) {
+        if (!WriteAheadLog::checksumValid(log[i])) {
+            valid[i] = false;
+            ++stats.corruptRecords;
+            cgp_error("recovery: corrupt log record at LSN ",
+                      log[i].lsn, ", skipping");
+        }
+    }
+    if (stats.tornTail > 0)
+        cgp_warn("recovery: dropped torn tail of ", stats.tornTail,
+                 " record(s)");
+
+    // --- Analysis: winners committed; aborted losers finished their
+    // (Clr-logged) rollback before the crash and need no undo.
     std::set<TxnId> winners;
+    std::set<TxnId> aborted;
     std::set<TxnId> seen;
-    for (const LogRecord &r : log_.records()) {
-        seen.insert(r.txn);
-        if (r.type == LogRecordType::Commit)
-            winners.insert(r.txn);
+    for (std::size_t i = 0; i < end; ++i) {
+        if (!valid[i])
+            continue;
+        seen.insert(log[i].txn);
+        if (log[i].type == LogRecordType::Commit)
+            winners.insert(log[i].txn);
+        else if (log[i].type == LogRecordType::Abort)
+            aborted.insert(log[i].txn);
     }
     stats.winners = static_cast<std::uint32_t>(winners.size());
     stats.losers =
         static_cast<std::uint32_t>(seen.size() - winners.size());
 
-    // --- Redo: replay winners' after-images in LSN order.
-    for (const LogRecord &r : log_.records()) {
+    // --- Redo: repeat history.  Every image record replays in LSN
+    // order — losers too, so pages and slot directories rebuild
+    // exactly as they evolved; the undo pass below then reverses the
+    // unfinished losers.
+    for (std::size_t i = 0; i < end; ++i) {
+        const LogRecord &r = log[i];
+        const bool is_clr = r.type == LogRecordType::Clr;
         const bool has_image = r.type == LogRecordType::Insert ||
-            r.type == LogRecordType::Update;
-        if (!has_image)
+            r.type == LogRecordType::Update || is_clr;
+        if (!valid[i] || !has_image)
             continue;
-        if (winners.find(r.txn) == winners.end()) {
-            ++stats.skipped;
+        if (!is_clr && r.payload.empty()) {
+            ++stats.emptyPayload;
+            cgp_error("recovery: redo record LSN ", r.lsn,
+                      " has no image, skipping");
             continue;
         }
-        cgp_assert(!r.payload.empty(), "redo record without image");
-        cgp_assert(r.page != invalidPageId, "redo without a page");
+        if (r.page == invalidPageId || r.page >= volume_.pageCount()) {
+            ++stats.invalidPage;
+            cgp_error("recovery: redo record LSN ", r.lsn,
+                      " names invalid page ", r.page, ", skipping");
+            continue;
+        }
 
         std::uint8_t *frame = pool.fix(r.page);
         SlottedPage page(frame);
 
-        // A page that never reached the volume reads back as zeroes:
-        // format it before replaying into it.
+        // A page that never reached the volume reads back as zeroes
+        // (or as garbage after a torn write): format it before
+        // replaying into it.
         if (!page.formatted())
             page.init();
-        if (page.read(r.slot) == nullptr) {
+
+        bool dirtied = false;
+        if (is_clr && r.payload.empty()) {
+            // Compensated insert: tombstone the slot (no-op if the
+            // insert itself never replayed into this image).
+            dirtied = page.erase(r.slot);
+        } else if (r.slot < page.slotCount()) {
+            // Slot allocated: overwrite a live record or revive a
+            // tombstoned one with this after-image.
+            const std::uint16_t len =
+                static_cast<std::uint16_t>(r.payload.size());
+            dirtied = page.read(r.slot) != nullptr
+                ? page.update(r.slot, r.payload.data(), len)
+                : page.revive(r.slot, r.payload.data(), len);
+            if (!dirtied) {
+                ++stats.failedOverwrite;
+                cgp_error("recovery: redo LSN ", r.lsn,
+                          " could not overwrite page ", r.page,
+                          " slot ", r.slot);
+            }
+        } else {
             // Slot absent: re-run the insert.  Slots are append-only
             // and the log is in LSN order, so the slot ids line up.
             const auto slot = page.insert(
                 r.payload.data(),
                 static_cast<std::uint16_t>(r.payload.size()));
-            cgp_assert(slot == r.slot,
-                       "redo slot mismatch: got ", slot, " want ",
-                       r.slot);
-        } else {
-            // Slot exists (page reached the volume, or a loser wrote
-            // it): overwrite with the winner's after-image.
-            const bool ok = page.update(
-                r.slot, r.payload.data(),
-                static_cast<std::uint16_t>(r.payload.size()));
-            cgp_assert(ok, "redo overwrite failed");
+            dirtied = slot != SlottedPage::invalidSlot;
+            if (slot != r.slot) {
+                ++stats.slotMismatch;
+                cgp_error("recovery: redo LSN ", r.lsn,
+                          " replayed into slot ",
+                          static_cast<std::int32_t>(slot),
+                          ", expected ", r.slot);
+            }
         }
-        pool.unfix(r.page, true);
+        pool.unfix(r.page, dirtied);
         ++stats.redone;
+    }
+
+    // --- Undo: roll the unfinished losers back, newest first.
+    // Needed because eviction steals dirty loser pages to the volume
+    // mid-run.  Clr records are redo-only and never undone.
+    for (std::size_t i = end; i > 0; --i) {
+        const LogRecord &r = log[i - 1];
+        if (!valid[i - 1] || winners.count(r.txn) > 0 ||
+            aborted.count(r.txn) > 0)
+            continue;
+        const bool has_image = r.type == LogRecordType::Insert ||
+            r.type == LogRecordType::Update;
+        if (!has_image)
+            continue;
+        if (r.page == invalidPageId || r.page >= volume_.pageCount()) {
+            ++stats.invalidPage;
+            continue;
+        }
+
+        std::uint8_t *frame = pool.fix(r.page);
+        SlottedPage page(frame);
+        bool dirtied = false;
+        if (!page.formatted()) {
+            // Nothing of the loser ever reached this page image.
+        } else if (r.type == LogRecordType::Insert) {
+            dirtied = page.erase(r.slot);
+        } else if (r.undo.empty()) {
+            ++stats.emptyPayload;
+            cgp_error("recovery: undo record LSN ", r.lsn,
+                      " has no before-image, skipping");
+        } else if (page.read(r.slot) != nullptr) {
+            dirtied = page.update(
+                r.slot, r.undo.data(),
+                static_cast<std::uint16_t>(r.undo.size()));
+            if (!dirtied) {
+                ++stats.failedOverwrite;
+                cgp_error("recovery: undo LSN ", r.lsn,
+                          " could not restore page ", r.page,
+                          " slot ", r.slot);
+            }
+        }
+        pool.unfix(r.page, dirtied);
+        if (dirtied)
+            ++stats.undone;
     }
 
     pool.flushAll();

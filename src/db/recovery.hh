@@ -1,18 +1,27 @@
 /**
  * @file
- * Crash recovery: a redo-only restart pass over the write-ahead log.
+ * Crash recovery: an analysis/redo/undo restart pass over the
+ * write-ahead log.
  *
- * Analysis scans the log to split transactions into winners (a
- * Commit record exists) and losers; redo replays the winners'
- * after-images into the volume in LSN order.  Because our pages are
- * append-only slotted pages and the log carries full after-images,
- * redo is idempotent: an insert whose slot already exists (the page
- * made it to the volume before the crash) is re-applied as an
- * overwrite.  Losers' effects are simply not replayed (no undo pass
- * is needed on a volume restored from redo of winners only... their
- * dirty pages never reached the volume in our no-steal buffer pool
- * unless evicted; evicted loser writes are overwritten by replay of
- * the page's winner history).
+ * Analysis verifies every surviving record's checksum and splits
+ * transactions into winners (a valid Commit record exists), finished
+ * losers (an Abort record: their rollback completed and was logged
+ * as Clr compensation records) and unfinished losers.  Redo repeats
+ * history — every image record, winners and losers alike, including
+ * compensations, in LSN order — so slot directories rebuild exactly
+ * as they evolved before the crash.  Undo then walks the log
+ * backwards rolling back only the unfinished losers: inserts are
+ * tombstoned, updates restore their before-images — needed because
+ * the buffer pool steals (evicts) dirty loser pages to the volume
+ * under memory pressure.
+ *
+ * The pass never asserts on a malformed log.  A contiguous run of
+ * invalid records at the tail is a torn tail (the crash interrupted
+ * the last force) and is dropped; an invalid record in the middle is
+ * skipped; degenerate redo/undo conditions (missing image, invalid
+ * page id, slot mismatch, failed overwrite) are skipped too.  Every
+ * skip increments a dedicated Stats counter so callers can tell a
+ * clean restart from a degraded one.
  */
 
 #ifndef CGP_DB_RECOVERY_HH
@@ -43,12 +52,30 @@ class RecoveryManager
         std::uint32_t winners = 0;   ///< committed transactions
         std::uint32_t losers = 0;    ///< uncommitted transactions
         std::uint64_t redone = 0;    ///< records replayed
-        std::uint64_t skipped = 0;   ///< loser records not replayed
+        std::uint64_t undone = 0;    ///< loser effects rolled back
+
+        /// @{ Malformed-log tolerance counters (formerly asserts).
+        std::uint64_t tornTail = 0;       ///< invalid records at tail
+        std::uint64_t corruptRecords = 0; ///< mid-log checksum failures
+        std::uint64_t emptyPayload = 0;   ///< redo record without image
+        std::uint64_t invalidPage = 0;    ///< image without a page id
+        std::uint64_t slotMismatch = 0;   ///< replayed slot id differs
+        std::uint64_t failedOverwrite = 0;///< in-place redo rejected
+        /// @}
+
+        /** True when nothing had to be skipped or repaired. */
+        bool
+        clean() const
+        {
+            return tornTail == 0 && corruptRecords == 0 &&
+                emptyPayload == 0 && invalidPage == 0 &&
+                slotMismatch == 0 && failedOverwrite == 0;
+        }
     };
 
     /**
      * Restart after a crash: replay committed work into the volume
-     * through @p pool, then flush.
+     * through @p pool, undo loser effects, then flush.
      */
     Stats recover(BufferPool &pool);
 

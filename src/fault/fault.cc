@@ -1,0 +1,129 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cgp::fault
+{
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Crash:
+        return "crash";
+      case FaultKind::TornWrite:
+        return "torn-write";
+      case FaultKind::PartialForce:
+        return "partial-force";
+      case FaultKind::TransientIo:
+        return "transient-io";
+    }
+    return "unknown";
+}
+
+const std::vector<std::string> &
+FaultInjector::crashPoints()
+{
+    static const std::vector<std::string> points = {
+        "wal.pre_force",  ///< before any force block hits the device
+        "wal.mid_force",  ///< between force blocks (partial/torn)
+        "pool.flush",     ///< BufferPool::flushAll entry
+        "pool.evict",     ///< dirty-victim write-back during eviction
+        "volume.read",    ///< Volume::readPage device access
+        "volume.write",   ///< Volume::writePage device access
+        "prefetch.issue", ///< prefetcher line-issue path
+        "prefetch.train", ///< prefetcher call/return trace observation
+    };
+    return points;
+}
+
+bool
+FaultInjector::isRegistered(std::string_view point)
+{
+    const auto &points = crashPoints();
+    return std::find(points.begin(), points.end(), point) !=
+        points.end();
+}
+
+void
+FaultInjector::arm(std::string_view point, const FaultSpec &spec)
+{
+    cgp_assert(isRegistered(point),
+               "arming unregistered crash point ", point);
+    cgp_assert(spec.count > 0, "armed fault must fire at least once");
+    armed_[std::string(point)] = Armed{spec, 0};
+}
+
+void
+FaultInjector::disarm(std::string_view point)
+{
+    armed_.erase(std::string(point));
+}
+
+void
+FaultInjector::disarmAll()
+{
+    armed_.clear();
+}
+
+std::optional<FaultKind>
+FaultInjector::hit(std::string_view point)
+{
+    const std::uint64_t n = ++hits_[std::string(point)];
+
+    auto it = armed_.find(std::string(point));
+    if (it == armed_.end())
+        return std::nullopt;
+
+    Armed &a = it->second;
+    if (n <= a.spec.afterHits || a.firedCount >= a.spec.count)
+        return std::nullopt;
+
+    ++a.firedCount;
+    const FaultKind kind = a.spec.kind;
+    fired_.push_back(FaultEvent{std::string(point), kind, n});
+    cgp_warn("fault injected: ", point, " kind=", toString(kind),
+             " hit#", n);
+    if (kind == FaultKind::Crash)
+        throw CrashInjected(std::string(point));
+    return kind;
+}
+
+std::uint64_t
+FaultInjector::hitCount(std::string_view point) const
+{
+    auto it = hits_.find(std::string(point));
+    return it == hits_.end() ? 0 : it->second;
+}
+
+void
+FaultInjector::resetCounters()
+{
+    hits_.clear();
+    fired_.clear();
+    for (auto &[point, armed] : armed_)
+        armed.firedCount = 0;
+}
+
+namespace
+{
+
+FaultInjector *globalInjector = nullptr;
+
+} // anonymous namespace
+
+FaultInjector *
+global()
+{
+    return globalInjector;
+}
+
+void
+setGlobal(FaultInjector *injector)
+{
+    globalInjector = injector;
+}
+
+} // namespace cgp::fault

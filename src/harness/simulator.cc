@@ -5,6 +5,7 @@
 #include "cpu/core.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/cgp.hh"
+#include "prefetch/failsoft.hh"
 #include "prefetch/nextline.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/software_cgp.hh"
@@ -39,32 +40,57 @@ runSimulation(const Workload &workload, const SimConfig &config)
     // 2. Assemble the machine.
     MemoryHierarchy mem(config.mem);
 
-    std::unique_ptr<InstrPrefetcher> prefetcher;
+    // Prefetching is an optimisation: a prefetcher that faults — at
+    // construction or at any hook mid-run — must not take down the
+    // simulation.  Construction failures fall back to no-prefetch
+    // here; mid-run faults are absorbed by the FailSoft wrapper.
+    std::unique_ptr<InstrPrefetcher> inner;
     const Cghc *cghc = nullptr;
-    switch (config.prefetch) {
-      case PrefetchKind::None:
-        break;
-      case PrefetchKind::NextNLine:
-        prefetcher = std::make_unique<NextNLinePrefetcher>(
-            mem.l1i(), config.depth);
-        break;
-      case PrefetchKind::RunAheadNL:
-        prefetcher = std::make_unique<RunAheadNLPrefetcher>(
-            mem.l1i(), config.depth, config.runaheadSkip);
-        break;
-      case PrefetchKind::Cgp: {
-        auto cgp = std::make_unique<CgpPrefetcher>(
-            mem.l1i(), config.cghc, config.depth);
-        cghc = &cgp->cghc();
-        prefetcher = std::move(cgp);
-        break;
-      }
-      case PrefetchKind::SoftwareCgp:
-        // The "compiler" consumes the same profile feedback OM does.
-        prefetcher = std::make_unique<SoftwareCgpPrefetcher>(
-            mem.l1i(), *workload.registry, image, profile,
-            config.depth);
-        break;
+    bool ctor_failed = false;
+    std::string ctor_reason;
+    try {
+        switch (config.prefetch) {
+          case PrefetchKind::None:
+            break;
+          case PrefetchKind::NextNLine:
+            inner = std::make_unique<NextNLinePrefetcher>(
+                mem.l1i(), config.depth);
+            break;
+          case PrefetchKind::RunAheadNL:
+            inner = std::make_unique<RunAheadNLPrefetcher>(
+                mem.l1i(), config.depth, config.runaheadSkip);
+            break;
+          case PrefetchKind::Cgp: {
+            auto cgp = std::make_unique<CgpPrefetcher>(
+                mem.l1i(), config.cghc, config.depth);
+            cghc = &cgp->cghc();
+            inner = std::move(cgp);
+            break;
+          }
+          case PrefetchKind::SoftwareCgp:
+            // The "compiler" consumes the same profile feedback OM
+            // does.
+            inner = std::make_unique<SoftwareCgpPrefetcher>(
+                mem.l1i(), *workload.registry, image, profile,
+                config.depth);
+            break;
+        }
+    } catch (const std::exception &e) {
+        ctor_failed = true;
+        ctor_reason = e.what();
+        cghc = nullptr;
+        inner.reset();
+        cgp_error("prefetcher construction failed (", ctor_reason,
+                  "); running without prefetch");
+    }
+
+    FailSoftPrefetcher *failsoft = nullptr;
+    std::unique_ptr<InstrPrefetcher> prefetcher;
+    if (inner != nullptr) {
+        auto fs =
+            std::make_unique<FailSoftPrefetcher>(std::move(inner));
+        failsoft = fs.get();
+        prefetcher = std::move(fs);
     }
 
     CoreConfig core_cfg = config.core;
@@ -103,6 +129,13 @@ runSimulation(const Workload &workload, const SimConfig &config)
     if (cghc != nullptr) {
         r.cghcAccesses = cghc->accesses();
         r.cghcHits = cghc->hits();
+    }
+    if (ctor_failed) {
+        r.prefetchDegraded = true;
+        r.degradedReason = ctor_reason;
+    } else if (failsoft != nullptr && failsoft->degraded()) {
+        r.prefetchDegraded = true;
+        r.degradedReason = failsoft->reason();
     }
     r.instrsPerCall = stream.instrsPerCall();
     return r;

@@ -61,6 +61,14 @@ struct SimResult
     std::uint64_t cghcAccesses = 0;
     std::uint64_t cghcHits = 0;
 
+    /**
+     * True when the prefetcher faulted (at construction or mid-run)
+     * and the simulation finished without prefetching from that
+     * point — graceful degradation, not a crash.
+     */
+    bool prefetchDegraded = false;
+    std::string degradedReason; ///< what disabled it (empty if healthy)
+
     double instrsPerCall = 0.0; ///< paper §5.4: ~43 for DBMS
 
     double

@@ -1,5 +1,6 @@
 #include "prefetch/cgp.hh"
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -16,6 +17,8 @@ CgpPrefetcher::CgpPrefetcher(Cache &l1i, const CghcConfig &cghc_config,
 void
 CgpPrefetcher::prefetchFunction(Addr func_start, Cycle when)
 {
+    if (fault::hit("prefetch.issue"))
+        throw fault::TransientIoError("injected CGP issue fault");
     const Addr line = l1i_.lineBytes();
     const Addr base = l1i_.lineAlign(func_start);
     for (unsigned i = 0; i < depth_; ++i) {
@@ -41,8 +44,12 @@ CgpPrefetcher::onCall(Addr callee_start, Addr caller_start, Cycle now)
             // (§3.3); an L2-CGHC hit adds that level's latency.
             prefetchFunction(probe.prefetchTarget, now + probe.delay);
         }
-        if (caller_start != invalidAddr)
+        if (caller_start != invalidAddr) {
+            if (fault::hit("prefetch.train"))
+                throw fault::TransientIoError(
+                    "injected CGHC train fault");
             cghc_.callUpdateAccess(caller_start, callee_start);
+        }
     }
 }
 
@@ -55,8 +62,11 @@ CgpPrefetcher::onReturn(Addr returnee_start, Addr returning_start,
         if (probe.prefetchTarget != invalidAddr)
             prefetchFunction(probe.prefetchTarget, now + probe.delay);
     }
-    if (returning_start != invalidAddr)
+    if (returning_start != invalidAddr) {
+        if (fault::hit("prefetch.train"))
+            throw fault::TransientIoError("injected CGHC train fault");
         cghc_.returnUpdateAccess(returning_start);
+    }
 }
 
 } // namespace cgp

@@ -1,0 +1,69 @@
+#include "prefetch/failsoft.hh"
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+FailSoftPrefetcher::FailSoftPrefetcher(
+    std::unique_ptr<InstrPrefetcher> inner)
+    : inner_(std::move(inner))
+{
+    cgp_assert(inner_ != nullptr,
+               "FailSoftPrefetcher needs an inner prefetcher");
+}
+
+void
+FailSoftPrefetcher::disable(const char *hook, const std::string &why)
+{
+    degraded_ = true;
+    reason_ = why;
+    cgp_error("prefetcher '", inner_->name(), "' faulted in ", hook,
+              " (", why, "); continuing without prefetch");
+}
+
+void
+FailSoftPrefetcher::onFetchLine(Addr line_addr, Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onFetchLine(line_addr, now);
+    } catch (const std::exception &e) {
+        disable("onFetchLine", e.what());
+    }
+}
+
+void
+FailSoftPrefetcher::onCall(Addr callee_start, Addr caller_start,
+                           Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onCall(callee_start, caller_start, now);
+    } catch (const std::exception &e) {
+        disable("onCall", e.what());
+    }
+}
+
+void
+FailSoftPrefetcher::onReturn(Addr returnee_start, Addr returning_start,
+                             Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onReturn(returnee_start, returning_start, now);
+    } catch (const std::exception &e) {
+        disable("onReturn", e.what());
+    }
+}
+
+const char *
+FailSoftPrefetcher::name() const
+{
+    return degraded_ ? "none (degraded)" : inner_->name();
+}
+
+} // namespace cgp

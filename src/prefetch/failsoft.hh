@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fail-soft prefetcher decorator: prefetching is an optimisation, so
+ * a fault inside a prefetcher — an injected crash point, a corrupt
+ * trace observation, any thrown exception — must never take down the
+ * simulated machine.  The wrapper forwards every hook to the inner
+ * prefetcher; on the first exception it logs an error event,
+ * permanently disables the inner prefetcher, and the run continues
+ * prefetch-less from that point (graceful degradation).
+ */
+
+#ifndef CGP_PREFETCH_FAILSOFT_HH
+#define CGP_PREFETCH_FAILSOFT_HH
+
+#include <memory>
+#include <string>
+
+#include "prefetch/prefetcher.hh"
+
+namespace cgp
+{
+
+class FailSoftPrefetcher : public InstrPrefetcher
+{
+  public:
+    explicit FailSoftPrefetcher(
+        std::unique_ptr<InstrPrefetcher> inner);
+
+    void onFetchLine(Addr line_addr, Cycle now) override;
+    void onCall(Addr callee_start, Addr caller_start,
+                Cycle now) override;
+    void onReturn(Addr returnee_start, Addr returning_start,
+                  Cycle now) override;
+
+    const char *name() const override;
+
+    /** True once the inner prefetcher has been disabled. */
+    bool degraded() const { return degraded_; }
+
+    /** What disabled it (empty while healthy). */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    void disable(const char *hook, const std::string &why);
+
+    std::unique_ptr<InstrPrefetcher> inner_;
+    bool degraded_ = false;
+    std::string reason_;
+};
+
+} // namespace cgp
+
+#endif // CGP_PREFETCH_FAILSOFT_HH

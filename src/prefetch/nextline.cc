@@ -1,5 +1,6 @@
 #include "prefetch/nextline.hh"
 
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -15,6 +16,8 @@ NextNLinePrefetcher::NextNLinePrefetcher(Cache &l1i, unsigned depth,
 void
 NextNLinePrefetcher::onFetchLine(Addr line_addr, Cycle now)
 {
+    if (fault::hit("prefetch.issue"))
+        throw fault::TransientIoError("injected NL issue fault");
     const Addr line = l1i_.lineBytes();
     for (unsigned i = 1; i <= depth_; ++i)
         l1i_.prefetch(line_addr + i * line, now, source_);

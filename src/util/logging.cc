@@ -1,11 +1,121 @@
 #include "util/logging.hh"
 
-#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace cgp
 {
+
+namespace
+{
+
+LogLevel printThreshold = LogLevel::Info;
+
+/** Fixed-capacity ring of the last N events. */
+struct LogRing
+{
+    std::vector<LogEvent> slots;
+    std::size_t capacity = 256;
+    std::size_t head = 0; ///< next write position
+    std::uint64_t seq = 0;
+
+    void
+    record(LogLevel level, const std::string &msg)
+    {
+        LogEvent ev{++seq, level, msg};
+        if (slots.size() < capacity) {
+            slots.push_back(std::move(ev));
+            head = slots.size() % capacity;
+        } else {
+            slots[head] = std::move(ev);
+            head = (head + 1) % capacity;
+        }
+    }
+
+    std::vector<LogEvent>
+    snapshot() const
+    {
+        std::vector<LogEvent> out;
+        out.reserve(slots.size());
+        if (slots.size() < capacity) {
+            out = slots;
+        } else {
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                out.push_back(slots[(head + i) % slots.size()]);
+        }
+        return out;
+    }
+};
+
+LogRing &
+ring()
+{
+    static LogRing r;
+    return r;
+}
+
+} // anonymous namespace
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "?";
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    printThreshold = level;
+}
+
+LogLevel
+logLevel()
+{
+    return printThreshold;
+}
+
+void
+setLogRingCapacity(std::size_t capacity)
+{
+    LogRing &r = ring();
+    r.capacity = capacity == 0 ? 1 : capacity;
+    r.slots.clear();
+    r.head = 0;
+}
+
+std::vector<LogEvent>
+recentEvents()
+{
+    return ring().snapshot();
+}
+
+void
+clearRecentEvents()
+{
+    LogRing &r = ring();
+    r.slots.clear();
+    r.head = 0;
+}
+
+void
+dumpRecentEvents(std::FILE *out)
+{
+    for (const LogEvent &ev : ring().snapshot())
+        std::fprintf(out, "[%llu] %s: %s\n",
+                     static_cast<unsigned long long>(ev.seq),
+                     toString(ev.level), ev.message.c_str());
+}
+
 namespace detail
 {
 
@@ -29,6 +139,7 @@ setThrowOnError(bool enable)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    ring().record(LogLevel::Error, "panic: " + msg);
     if (throwOnError)
         throw std::logic_error("panic: " + msg);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
@@ -38,6 +149,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    ring().record(LogLevel::Error, "fatal: " + msg);
     if (throwOnError)
         throw std::runtime_error("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
@@ -45,15 +157,15 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
-warnImpl(const std::string &msg)
+logImpl(LogLevel level, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
-}
-
-void
-informImpl(const std::string &msg)
-{
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    ring().record(level, msg);
+    if (level < printThreshold)
+        return;
+    if (level >= LogLevel::Warn)
+        std::fprintf(stderr, "%s: %s\n", toString(level), msg.c_str());
+    else
+        std::fprintf(stdout, "%s: %s\n", toString(level), msg.c_str());
 }
 
 } // namespace detail

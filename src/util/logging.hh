@@ -2,17 +2,65 @@
  * @file
  * Error/diagnostic reporting in the gem5 spirit: panic() for internal
  * invariant violations (aborts), fatal() for user configuration errors
- * (clean exit), warn()/inform() for advisory output.
+ * (clean exit), error()/warn()/inform()/debug() for leveled advisory
+ * output.
+ *
+ * Every message — printed or filtered — is also recorded in a
+ * fixed-capacity ring buffer of the last N events so a crashed or
+ * fault-injected run can be inspected post-mortem (dumpRecentEvents,
+ * recentEvents).
  */
 
 #ifndef CGP_UTIL_LOGGING_HH
 #define CGP_UTIL_LOGGING_HH
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace cgp
 {
+
+/** Message severity, least to most severe. */
+enum class LogLevel : std::uint8_t
+{
+    Debug,
+    Info,
+    Warn,
+    Error
+};
+
+const char *toString(LogLevel level);
+
+/** One recorded log message (ring-buffer entry). */
+struct LogEvent
+{
+    std::uint64_t seq = 0; ///< monotonically increasing event number
+    LogLevel level = LogLevel::Info;
+    std::string message;
+};
+
+/**
+ * Minimum level printed to stderr/stdout (default Info).  The ring
+ * buffer records all levels regardless, so post-mortem dumps still
+ * see Debug events of a quiet run.
+ */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Resize the ring buffer (drops recorded events); default 256. */
+void setLogRingCapacity(std::size_t capacity);
+
+/** Last N recorded events, oldest first. */
+std::vector<LogEvent> recentEvents();
+
+/** Drop all recorded events. */
+void clearRecentEvents();
+
+/** Write the ring contents to @p out ("post-mortem dump"). */
+void dumpRecentEvents(std::FILE *out);
 
 namespace detail
 {
@@ -37,8 +85,7 @@ void setThrowOnError(bool enable);
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
-void warnImpl(const std::string &msg);
-void informImpl(const std::string &msg);
+void logImpl(LogLevel level, const std::string &msg);
 
 } // namespace detail
 
@@ -58,13 +105,25 @@ void informImpl(const std::string &msg);
     ::cgp::detail::fatalImpl(__FILE__, __LINE__, \
                              ::cgp::detail::concat(__VA_ARGS__))
 
+/** A definite problem that the system survived (degraded mode). */
+#define cgp_error(...) \
+    ::cgp::detail::logImpl(::cgp::LogLevel::Error, \
+                           ::cgp::detail::concat(__VA_ARGS__))
+
 /** Advisory: something may not behave as the user expects. */
 #define cgp_warn(...) \
-    ::cgp::detail::warnImpl(::cgp::detail::concat(__VA_ARGS__))
+    ::cgp::detail::logImpl(::cgp::LogLevel::Warn, \
+                           ::cgp::detail::concat(__VA_ARGS__))
 
 /** Status output with no connotation of misbehaviour. */
 #define cgp_inform(...) \
-    ::cgp::detail::informImpl(::cgp::detail::concat(__VA_ARGS__))
+    ::cgp::detail::logImpl(::cgp::LogLevel::Info, \
+                           ::cgp::detail::concat(__VA_ARGS__))
+
+/** Developer tracing; filtered from output by default. */
+#define cgp_debug(...) \
+    ::cgp::detail::logImpl(::cgp::LogLevel::Debug, \
+                           ::cgp::detail::concat(__VA_ARGS__))
 
 /** panic() unless the asserted invariant holds. */
 #define cgp_assert(cond, ...) \
