@@ -16,28 +16,15 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
     // Depth sweep on the OM binary.
-    std::vector<SimConfig> depth_configs;
-    for (unsigned n : {1u, 2u, 4u, 6u, 8u}) {
-        depth_configs.push_back(
-            SimConfig::withCgp(LayoutKind::PettisHansen, n));
-    }
-    const ResultMatrix dm = runMatrix(set.workloads, depth_configs);
-    printCycleTable("CGP_N depth sweep (OM binary)", dm,
-                    set.workloads, depth_configs);
+    const exp::CampaignRun depth =
+        runPaperCampaign("ablation-design-depth");
+    exp::printCycleTables(depth, std::cout);
 
     // CGP without recompilation (O5) vs with OM.
-    const std::vector<SimConfig> layout_configs = {
-        SimConfig::o5(),
-        SimConfig::withCgp(LayoutKind::Original, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-    };
-    const ResultMatrix lm = runMatrix(set.workloads, layout_configs);
-    printCycleTable("CGP without OM (legacy binaries, §5.2)", lm,
-                    set.workloads, layout_configs);
+    const exp::CampaignRun layout =
+        runPaperCampaign("ablation-design-layout");
+    exp::printCycleTables(layout, std::cout);
 
     std::cout << "\nPaper reference: CGP_4 alone achieves ~40% over "
                  "O5 (no source recompilation needed); adding OM "

@@ -18,37 +18,23 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5Om(),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 2),
-        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 4),
-        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 8),
-    };
-
-    const ResultMatrix m = runMatrix(set.workloads, configs);
-    printCycleTable("Run-ahead NL ablation (§5.6)", m, set.workloads,
-                    configs);
+    const exp::CampaignRun run = runPaperCampaign("ablation-ranl");
+    exp::printCycleTables(run, std::cout);
 
     TablePrinter t("Useful prefetch fractions");
     t.setHeader({"config", "useful frac", "useless"});
-    for (const auto &c : configs) {
-        if (c.prefetch == PrefetchKind::None)
-            continue;
+    for (const auto &c : run.configLabels()) {
         PrefetchBreakdown sum;
-        for (const auto &w : set.workloads) {
-            const auto p =
-                m.at({w.name, c.describe()}).totalPrefetch();
+        for (const auto &w : run.workloadNames()) {
+            const auto p = run.at(w, c).totalPrefetch();
             sum.issued += p.issued;
             sum.prefHits += p.prefHits;
             sum.delayedHits += p.delayedHits;
             sum.useless += p.useless;
         }
-        t.addRow({c.describe(),
-                  TablePrinter::percent(sum.usefulFraction()),
+        if (sum.issued == 0) // the no-prefetch baseline
+            continue;
+        t.addRow({c, TablePrinter::percent(sum.usefulFraction()),
                   TablePrinter::num(sum.useless)});
     }
     t.print(std::cout);

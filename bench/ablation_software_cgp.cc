@@ -22,58 +22,39 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5Om(),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withSoftwareCgp(LayoutKind::PettisHansen, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-    };
-    const ResultMatrix m = runMatrix(set.workloads, configs);
-    printCycleTable("Software CGP vs hardware CGP (§6)", m,
-                    set.workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("ablation-swcgp");
+    exp::printCycleTables(run, std::cout);
 
     TablePrinter t("I-cache misses");
     t.setHeader({"workload", "OM", "OM+NL_4", "OM+SWCGP_4",
                  "OM+CGP_4"});
-    for (const auto &w : set.workloads) {
-        std::vector<std::string> row{w.name};
-        for (const auto &c : configs) {
-            row.push_back(TablePrinter::num(
-                m.at({w.name, c.describe()}).icacheMisses));
+    for (const auto &w : run.workloadNames()) {
+        std::vector<std::string> row{w};
+        for (const auto &c : run.configLabels()) {
+            row.push_back(
+                TablePrinter::num(run.at(w, c).icacheMisses));
         }
         t.addRow(row);
     }
     t.print(std::cout);
 
     // §3.2 design note: direct-mapped CGHC vs set-associative.
-    std::vector<SimConfig> assoc_configs;
-    std::vector<std::string> labels;
-    for (unsigned a : {1u, 2u, 4u}) {
-        CghcConfig geom = CghcConfig::twoLevel2K32K();
-        geom.assoc = a;
-        assoc_configs.push_back(SimConfig::withCgpGeometry(
-            LayoutKind::PettisHansen, 4, geom));
-        labels.push_back(geom.describe());
-    }
+    const exp::CampaignRun assoc =
+        runPaperCampaign("ablation-swcgp-assoc");
     TablePrinter at("CGHC associativity (§3.2: direct-mapped "
                     "suffices)");
     std::vector<std::string> header{"workload"};
+    const std::vector<std::string> labels = assoc.configLabels();
     header.insert(header.end(), labels.begin(), labels.end());
     at.setHeader(header);
-    for (const auto &w : set.workloads) {
-        std::vector<std::string> row{w.name};
-        double base = 0;
-        for (std::size_t i = 0; i < assoc_configs.size(); ++i) {
-            std::cerr << "  running " << w.name << " / " << labels[i]
-                      << "...\n";
-            const SimResult r = runSimulation(w, assoc_configs[i]);
-            if (i == 0)
-                base = static_cast<double>(r.cycles);
+    for (const auto &w : assoc.workloadNames()) {
+        std::vector<std::string> row{w};
+        const double base =
+            static_cast<double>(assoc.at(w, labels[0]).cycles);
+        for (const auto &c : labels) {
             row.push_back(TablePrinter::fixed(
-                static_cast<double>(r.cycles) / base, 4));
+                static_cast<double>(assoc.at(w, c).cycles) / base,
+                4));
         }
         at.addRow(row);
     }

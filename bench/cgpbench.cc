@@ -1,0 +1,304 @@
+/**
+ * @file
+ * cgpbench — unified driver for the paper's experiment campaigns.
+ *
+ *   cgpbench list
+ *       Show every campaign (and the groups figures/ablations/all).
+ *
+ *   cgpbench run <campaign|group>... [options]
+ *       Run campaigns on the parallel engine, print the cycle
+ *       tables, and write one BENCH_<name>.json per campaign.
+ *         --threads N       worker threads (default: hardware)
+ *         --dir D           parent directory for resumable run dirs
+ *         --seed S          override the campaign seed
+ *         --artifact-dir D  where BENCH_*.json goes (default ".")
+ *         --fresh           discard any previous run dir first
+ *         --quiet           suppress per-job progress logging
+ *
+ *   cgpbench resume <dir> [options]
+ *       Finish a killed run: re-run its campaign with the same run
+ *       directory; completed jobs are loaded, not re-simulated.
+ *
+ *   cgpbench report <dir>
+ *       Summarize a run directory without simulating anything.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/artifact.hh"
+#include "exp/campaigns.hh"
+#include "exp/engine.hh"
+#include "exp/rundir.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace cgp;
+using namespace cgp::exp;
+
+struct Options
+{
+    std::vector<std::string> names;
+    unsigned threads = 0;
+    std::string dir;
+    std::string artifactDir = ".";
+    std::string artifactFile; // single campaign only
+    bool seedSet = false;
+    std::uint64_t seed = 0;
+    bool fresh = false;
+    bool quiet = false;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: cgpbench list\n"
+        << "       cgpbench run <campaign|figures|ablations|all>...\n"
+        << "           [--threads N] [--dir D] [--seed S]\n"
+        << "           [--artifact-dir D] [--artifact FILE]\n"
+        << "           [--fresh] [--quiet]\n"
+        << "       cgpbench resume <dir> [--threads N] [--quiet]\n"
+        << "       cgpbench report <dir>\n";
+    return 2;
+}
+
+bool
+parseOptions(int argc, char **argv, int first, Options &opt)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "cgpbench: " << a
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--threads") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.threads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (a == "--dir") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.dir = v;
+        } else if (a == "--seed") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.seedSet = true;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--artifact-dir") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.artifactDir = v;
+        } else if (a == "--artifact") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.artifactFile = v;
+        } else if (a == "--fresh") {
+            opt.fresh = true;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "cgpbench: unknown option " << a << "\n";
+            return false;
+        } else {
+            opt.names.push_back(a);
+        }
+    }
+    return true;
+}
+
+std::vector<std::string>
+expandGroups(const std::vector<std::string> &names)
+{
+    std::vector<std::string> out;
+    for (const std::string &n : names) {
+        for (const std::string &c : campaignGroup(n)) {
+            if (std::find(out.begin(), out.end(), c) == out.end())
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+int
+cmdList()
+{
+    TablePrinter t("Campaigns");
+    t.setHeader({"name", "jobs", "title"});
+    for (const std::string &name : campaignNames()) {
+        const CampaignSpec spec = paperCampaign(name);
+        t.addRow({name, std::to_string(expandJobs(spec).size()),
+                  spec.title});
+    }
+    t.print(std::cout);
+    std::cout << "\nGroups: figures, ablations, all "
+                 "(smoke is only run by name)\n";
+    return 0;
+}
+
+/** Run one campaign and emit its tables + artifact. */
+void
+runOne(const CampaignSpec &spec, PaperWorkloadBank &bank,
+       const Options &opt)
+{
+    EngineOptions eopt;
+    eopt.threads = opt.threads;
+    eopt.verbose = !opt.quiet;
+    if (!opt.dir.empty()) {
+        eopt.runDir = opt.dir + "/" + spec.name;
+        if (opt.fresh)
+            std::filesystem::remove_all(eopt.runDir);
+    }
+
+    const CampaignRun run = runCampaign(spec, bank, eopt);
+
+    printCycleTables(run, std::cout);
+    const std::string artifact = !opt.artifactFile.empty()
+        ? opt.artifactFile
+        : opt.artifactDir + "/BENCH_" + spec.name + ".json";
+    writeBenchJson(artifact, run);
+    std::cout << "\n[" << spec.name << "] " << run.executed
+              << " jobs run, " << run.skipped << " resumed, "
+              << run.threadsUsed << " threads ("
+              << run.steals << " steals), "
+              << TablePrinter::fixed(run.wallSeconds, 1)
+              << "s; artifact " << artifact << "\n\n";
+}
+
+int
+cmdRun(const Options &opt)
+{
+    if (opt.names.empty()) {
+        std::cerr << "cgpbench run: no campaigns given\n";
+        return usage();
+    }
+    const std::vector<std::string> names = expandGroups(opt.names);
+    if (!opt.artifactFile.empty() && names.size() != 1) {
+        std::cerr << "cgpbench run: --artifact needs exactly one "
+                     "campaign\n";
+        return 2;
+    }
+    PaperWorkloadBank bank;
+    for (const std::string &name : names) {
+        CampaignSpec spec = paperCampaign(name);
+        if (opt.seedSet)
+            spec.seed = opt.seed;
+        runOne(spec, bank, opt);
+    }
+    return 0;
+}
+
+int
+cmdResume(const Options &opt)
+{
+    if (opt.names.size() != 1) {
+        std::cerr << "cgpbench resume: need exactly one run dir\n";
+        return usage();
+    }
+    const std::string dir = opt.names[0];
+    const LoadedRun loaded = loadRunDir(dir);
+
+    CampaignSpec spec = paperCampaign(loaded.campaign);
+    spec.seed = loaded.seed;
+
+    Options ropt = opt;
+    ropt.names.clear();
+    ropt.fresh = false;
+    ropt.artifactFile = ropt.artifactDir + "/BENCH_" +
+        loaded.campaign + ".json";
+
+    PaperWorkloadBank bank;
+    EngineOptions eopt;
+    eopt.threads = ropt.threads;
+    eopt.verbose = !ropt.quiet;
+    eopt.runDir = dir;
+    const CampaignRun run = runCampaign(spec, bank, eopt);
+    printCycleTables(run, std::cout);
+    writeBenchJson(ropt.artifactFile, run);
+    std::cout << "\n[" << spec.name << "] " << run.executed
+              << " jobs run, " << run.skipped << " resumed; artifact "
+              << ropt.artifactFile << "\n";
+    return 0;
+}
+
+int
+cmdReport(const Options &opt)
+{
+    if (opt.names.size() != 1) {
+        std::cerr << "cgpbench report: need exactly one run dir\n";
+        return usage();
+    }
+    const LoadedRun run = loadRunDir(opt.names[0]);
+
+    std::cout << "Campaign:    " << run.campaign << " — "
+              << run.title << "\n"
+              << "Fingerprint: " << run.fingerprint << "\n"
+              << "Seed:        " << run.seed << "\n"
+              << "Jobs:        " << run.results.size() << "/"
+              << run.jobs.size() << " complete\n\n";
+
+    TablePrinter t("Job status");
+    t.setHeader({"job", "workload", "config", "status", "cycles"});
+    for (const JobSpec &j : run.jobs) {
+        const auto it = run.results.find(j.index);
+        t.addRow({std::to_string(j.index), j.workload, j.label,
+                  it == run.results.end() ? "pending" : "done",
+                  it == run.results.end()
+                      ? "-"
+                      : TablePrinter::num(it->second.cycles)});
+    }
+    t.print(std::cout);
+    if (run.results.size() < run.jobs.size()) {
+        std::cout << "\nResume with: cgpbench resume "
+                  << opt.names[0] << "\n";
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    Options opt;
+    if (!parseOptions(argc, argv, 2, opt))
+        return 2;
+
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run")
+            return cmdRun(opt);
+        if (cmd == "resume")
+            return cmdResume(opt);
+        if (cmd == "report")
+            return cmdReport(opt);
+    } catch (const std::exception &e) {
+        std::cerr << "cgpbench: " << e.what() << "\n";
+        return 1;
+    }
+    std::cerr << "cgpbench: unknown command '" << cmd << "'\n";
+    return usage();
+}

@@ -1,22 +1,34 @@
 /**
  * @file
- * Shared helpers for the per-figure benchmark binaries: run a matrix
- * of (workload x config) simulations and print paper-style tables
- * (absolute cycles plus bars normalized the way the paper plots
- * them).
+ * Shared helpers for the per-figure benchmark binaries — now a thin
+ * adapter over the src/exp campaign engine.  Each binary runs a
+ * named campaign from the paper registry: jobs execute in parallel
+ * on the work-stealing pool (results are deterministic regardless of
+ * thread count), per-job progress goes through util/logging with a
+ * [campaign:job workload/config] prefix, a BENCH_<name>.json
+ * artifact is written next to the paper-style tables, and when
+ * CGP_RUN_DIR is set the run is resumable after a kill.
+ *
+ * Environment knobs:
+ *   CGP_BENCH_THREADS  worker threads (default: hardware)
+ *   CGP_RUN_DIR        parent dir for resumable run dirs (default off)
+ *   CGP_ARTIFACT_DIR   where BENCH_*.json goes (default ".")
  */
 
 #ifndef CGP_BENCH_COMMON_HH
 #define CGP_BENCH_COMMON_HH
 
-#include <cmath>
-#include <iostream>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "exp/artifact.hh"
+#include "exp/campaigns.hh"
+#include "exp/engine.hh"
 #include "harness/simulator.hh"
 #include "harness/workload.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace cgp::bench
@@ -26,52 +38,111 @@ namespace cgp::bench
 using ResultMatrix =
     std::map<std::pair<std::string, std::string>, SimResult>;
 
-/** Run every config against every workload. */
+inline unsigned
+envThreads()
+{
+    if (const char *env = std::getenv("CGP_BENCH_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        cgp_warn("ignoring bad CGP_BENCH_THREADS value '", env, "'");
+    }
+    return 0; // hardware concurrency
+}
+
 inline ResultMatrix
-runMatrix(const std::vector<Workload> &workloads,
-          const std::vector<SimConfig> &configs, bool verbose = true)
+toMatrix(const exp::CampaignRun &run)
 {
     ResultMatrix m;
-    for (const auto &w : workloads) {
-        for (const auto &c : configs) {
-            if (verbose) {
-                std::cerr << "  running " << w.name << " / "
-                          << c.describe() << "...\n";
-            }
-            SimResult r = runSimulation(w, c);
-            m.emplace(std::make_pair(w.name, r.config), std::move(r));
-        }
+    for (const exp::JobSpec &j : run.jobs) {
+        m.emplace(std::make_pair(j.workload, j.label),
+                  run.results[j.index]);
     }
     return m;
 }
 
 /**
+ * Run a campaign from the paper registry with the engine, sharing
+ * one workload bank across all campaigns of the process, and write
+ * its BENCH_<name>.json artifact.
+ */
+inline exp::CampaignRun
+runPaperCampaign(const std::string &name)
+{
+    static exp::PaperWorkloadBank bank;
+    const exp::CampaignSpec spec = exp::paperCampaign(name);
+
+    exp::EngineOptions opts;
+    opts.threads = envThreads();
+    if (const char *dir = std::getenv("CGP_RUN_DIR"))
+        opts.runDir = std::string(dir) + "/" + name;
+
+    const exp::CampaignRun run =
+        exp::runCampaign(spec, bank, opts);
+
+    std::string artifact_dir = ".";
+    if (const char *dir = std::getenv("CGP_ARTIFACT_DIR"))
+        artifact_dir = dir;
+    const std::string artifact =
+        artifact_dir + "/BENCH_" + name + ".json";
+    exp::writeBenchJson(artifact, run);
+    cgp_inform("[", name, "] ", run.executed, " jobs run, ",
+               run.skipped, " resumed, ", run.threadsUsed,
+               " threads, ", TablePrinter::fixed(run.wallSeconds, 1),
+               "s; artifact ", artifact);
+    return run;
+}
+
+/**
+ * Run every config against every workload (legacy helper, kept for
+ * downstream users).  Executes through the engine: parallel, with
+ * per-job logging instead of raw interleaved std::cerr writes.
+ */
+inline ResultMatrix
+runMatrix(const std::vector<Workload> &workloads,
+          const std::vector<SimConfig> &configs, bool verbose = true)
+{
+    exp::CampaignSpec spec;
+    spec.name = "adhoc";
+    spec.title = "ad-hoc matrix";
+    for (const Workload &w : workloads)
+        spec.workloads.push_back(w.name);
+    spec.explicitConfigs = configs;
+
+    exp::InMemoryProvider provider(workloads);
+    exp::EngineOptions opts;
+    opts.threads = envThreads();
+    opts.verbose = verbose;
+    return toMatrix(exp::runCampaign(spec, provider, opts));
+}
+
+/**
  * Print execution cycles: one row per workload, one column per
- * config, plus a normalized view (first config = 1.00, smaller is
- * faster) matching the paper's bar charts.
+ * config, plus a view normalized to config @p normIndex (= 1.00,
+ * smaller is faster) matching the paper's bar charts.
  */
 inline void
 printCycleTable(const std::string &title, const ResultMatrix &m,
-                const std::vector<Workload> &workloads,
-                const std::vector<SimConfig> &configs)
+                const std::vector<std::string> &workloads,
+                const std::vector<std::string> &configs,
+                std::size_t normIndex = 0)
 {
     TablePrinter abs(title + " — execution cycles");
     TablePrinter norm(title + " — normalized to " +
-                      configs.front().describe() +
-                      " (lower is faster)");
+                      configs[normIndex] + " (lower is faster)");
     std::vector<std::string> header{"workload"};
     for (const auto &c : configs)
-        header.push_back(c.describe());
+        header.push_back(c);
     abs.setHeader(header);
     norm.setHeader(header);
 
     for (const auto &w : workloads) {
-        std::vector<std::string> arow{w.name};
-        std::vector<std::string> nrow{w.name};
+        std::vector<std::string> arow{w};
+        std::vector<std::string> nrow{w};
         const auto base = static_cast<double>(
-            m.at({w.name, configs.front().describe()}).cycles);
+            m.at({w, configs[normIndex]}).cycles);
         for (const auto &c : configs) {
-            const auto &r = m.at({w.name, c.describe()});
+            const auto &r = m.at({w, c});
             arow.push_back(TablePrinter::num(r.cycles));
             nrow.push_back(TablePrinter::fixed(
                 static_cast<double>(r.cycles) / base, 3));
@@ -82,25 +153,6 @@ printCycleTable(const std::string &title, const ResultMatrix &m,
     abs.print(std::cout);
     std::cout << "\n";
     norm.print(std::cout);
-}
-
-/** Geometric-mean speedup of config b over config a. */
-inline double
-geomeanSpeedup(const ResultMatrix &m,
-               const std::vector<Workload> &workloads,
-               const SimConfig &a, const SimConfig &b)
-{
-    double log_sum = 0.0;
-    std::size_t n = 0;
-    for (const auto &w : workloads) {
-        const auto ca =
-            static_cast<double>(m.at({w.name, a.describe()}).cycles);
-        const auto cb =
-            static_cast<double>(m.at({w.name, b.describe()}).cycles);
-        log_sum += std::log(ca / cb);
-        ++n;
-    }
-    return n == 0 ? 1.0 : std::exp(log_sum / static_cast<double>(n));
 }
 
 } // namespace cgp::bench

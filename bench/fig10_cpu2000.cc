@@ -19,34 +19,23 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building CPU2000 proxy workloads...\n";
-    const std::vector<Workload> workloads =
-        WorkloadFactory::buildCpu2000Suite();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5Om(),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-        SimConfig::perfectICacheOn(LayoutKind::PettisHansen),
-    };
-
-    const ResultMatrix m = runMatrix(workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("fig10");
 
     TablePrinter t("Figure 10 — CPU2000 under OM, NL_4, CGP_4, "
                    "perfect I-cache");
     t.setHeader({"benchmark", "O5+OM cycles", "I$ miss ratio",
                  "NL_4 speedup", "CGP_4 speedup",
                  "perf-I$ gap"});
-    for (const auto &w : workloads) {
-        const auto &om = m.at({w.name, configs[0].describe()});
-        const auto &nl = m.at({w.name, configs[1].describe()});
-        const auto &cg = m.at({w.name, configs[2].describe()});
-        const auto &pf = m.at({w.name, configs[3].describe()});
+    for (const auto &w : run.workloadNames()) {
+        const auto &om = run.at(w, "O5+OM");
+        const auto &nl = run.at(w, "O5+OM+NL_4");
+        const auto &cg = run.at(w, "O5+OM+CGP_4");
+        const auto &pf = run.at(w, "O5+OM+perf-Icache");
         const double miss_ratio = om.icacheAccesses == 0
             ? 0.0
             : static_cast<double>(om.icacheMisses) /
                 static_cast<double>(om.icacheAccesses);
-        t.addRow({w.name, TablePrinter::num(om.cycles),
+        t.addRow({w, TablePrinter::num(om.cycles),
                   TablePrinter::percent(miss_ratio, 2),
                   TablePrinter::fixed(
                       static_cast<double>(om.cycles) /

@@ -8,7 +8,6 @@
  * and ~30% over OM alone.  CGHC: two-level 2KB+32KB.
  */
 
-#include <cmath>
 #include <iostream>
 
 #include "common.hh"
@@ -19,45 +18,28 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5(),
-        SimConfig::o5Om(),
-        SimConfig::withCgp(LayoutKind::Original, 2),
-        SimConfig::withCgp(LayoutKind::Original, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-    };
-
-    const ResultMatrix m = runMatrix(set.workloads, configs);
-    printCycleTable("Figure 4", m, set.workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("fig4");
+    exp::printCycleTables(run, std::cout);
 
     std::cout << "\nGeometric-mean speedups (paper reference in "
                  "parentheses):\n";
     std::cout << "  OM over O5:        "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[0],
-                                    configs[1]),
-                     3)
+                     exp::geomeanSpeedup(run, "O5", "O5+OM"), 3)
               << "  (paper ~1.11)\n";
     std::cout << "  CGP_4 over O5:     "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[0],
-                                    configs[3]),
-                     3)
+                     exp::geomeanSpeedup(run, "O5", "O5+CGP_4"), 3)
               << "  (paper ~1.40)\n";
     std::cout << "  OM+CGP_4 over O5:  "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[0],
-                                    configs[5]),
+                     exp::geomeanSpeedup(run, "O5", "O5+OM+CGP_4"),
                      3)
               << "  (paper ~1.45)\n";
     std::cout << "  OM+CGP_4 over OM:  "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[1],
-                                    configs[5]),
+                     exp::geomeanSpeedup(run, "O5+OM",
+                                         "O5+OM+CGP_4"),
                      3)
               << "  (paper ~1.30)\n";
     return 0;

@@ -18,59 +18,12 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
+    const exp::CampaignRun run = runPaperCampaign("fig5");
 
-    const std::vector<std::pair<const char *, CghcConfig>> geoms = {
-        {"CGHC-1K", CghcConfig::oneLevel1K()},
-        {"CGHC-32K", CghcConfig::oneLevel32K()},
-        {"CGHC-1K+16K", CghcConfig::twoLevel1K16K()},
-        {"CGHC-2K+32K", CghcConfig::twoLevel2K32K()},
-        {"CGHC-Inf", CghcConfig::infiniteSize()},
-    };
+    // Normalize to CGHC-Inf (the last axis point).
+    exp::printCycleTables(run, std::cout,
+                          run.configLabels().size() - 1);
 
-    std::vector<SimConfig> configs;
-    for (const auto &[name, geom] : geoms) {
-        (void)name;
-        configs.push_back(SimConfig::withCgpGeometry(
-            LayoutKind::PettisHansen, 4, geom));
-    }
-
-    // Distinguish the config labels by geometry.
-    ResultMatrix m;
-    TablePrinter abs("Figure 5 — CGP_4 execution cycles by CGHC size");
-    TablePrinter norm(
-        "Figure 5 — normalized to CGHC-Inf (lower is faster)");
-    std::vector<std::string> header{"workload"};
-    for (const auto &[name, geom] : geoms) {
-        (void)geom;
-        header.push_back(name);
-    }
-    abs.setHeader(header);
-    norm.setHeader(header);
-
-    for (const auto &w : set.workloads) {
-        std::vector<SimResult> results;
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            std::cerr << "  running " << w.name << " / "
-                      << geoms[i].first << "...\n";
-            results.push_back(runSimulation(w, configs[i]));
-        }
-        const auto inf_cycles =
-            static_cast<double>(results.back().cycles);
-        std::vector<std::string> arow{w.name};
-        std::vector<std::string> nrow{w.name};
-        for (const auto &r : results) {
-            arow.push_back(TablePrinter::num(r.cycles));
-            nrow.push_back(TablePrinter::fixed(
-                static_cast<double>(r.cycles) / inf_cycles, 3));
-        }
-        abs.addRow(arow);
-        norm.addRow(nrow);
-    }
-    abs.print(std::cout);
-    std::cout << "\n";
-    norm.print(std::cout);
     std::cout << "\nPaper reference: CGHC-1K ~1.12x the infinite "
                  "CGHC's cycles; CGHC-2K+32K and CGHC-32K within a "
                  "few percent of infinite; on wisc+tpch the infinite "

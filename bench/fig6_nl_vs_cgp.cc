@@ -19,41 +19,28 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5(),
-        SimConfig::o5Om(),
-        SimConfig::withNL(LayoutKind::PettisHansen, 2),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-        SimConfig::perfectICacheOn(LayoutKind::PettisHansen),
-    };
-
-    const ResultMatrix m = runMatrix(set.workloads, configs);
-    printCycleTable("Figure 6", m, set.workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("fig6");
+    exp::printCycleTables(run, std::cout);
 
     std::cout << "\nGeometric-mean comparisons (paper reference):\n";
     std::cout << "  OM+CGP_4 over OM+NL_4:      "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[3],
-                                    configs[5]),
+                     exp::geomeanSpeedup(run, "O5+OM+NL_4",
+                                         "O5+OM+CGP_4"),
                      3)
               << "  (paper ~1.07)\n";
     std::cout << "  perf-Icache over OM+CGP_4:  "
               << TablePrinter::fixed(
-                     geomeanSpeedup(m, set.workloads, configs[5],
-                                    configs[6]),
+                     exp::geomeanSpeedup(run, "O5+OM+CGP_4",
+                                         "O5+OM+perf-Icache"),
                      3)
               << "  (paper ~1.19)\n";
 
     std::cout << "\nInstructions between successive calls "
                  "(paper ~43):\n";
-    for (const auto &w : set.workloads) {
-        const auto &r = m.at({w.name, configs[0].describe()});
-        std::cout << "  " << w.name << ": "
+    for (const auto &w : run.workloadNames()) {
+        const SimResult &r = run.at(w, "O5");
+        std::cout << "  " << w << ": "
                   << TablePrinter::fixed(r.instrsPerCall, 1) << "\n";
     }
     return 0;

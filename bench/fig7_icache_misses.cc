@@ -16,27 +16,17 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::o5(),
-        SimConfig::o5Om(),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-    };
-
-    const ResultMatrix m = runMatrix(set.workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("fig7");
 
     TablePrinter t("Figure 7 — L1 I-cache demand misses");
     t.setHeader({"workload", "O5", "O5+OM", "OM+NL_4", "OM+CGP_4",
                  "OM/O5", "NL/O5", "CGP/O5"});
     double om_sum = 0, nl_sum = 0, cgp_sum = 0, o5_sum = 0;
-    for (const auto &w : set.workloads) {
-        const auto o5 = m.at({w.name, configs[0].describe()});
-        const auto om = m.at({w.name, configs[1].describe()});
-        const auto nl = m.at({w.name, configs[2].describe()});
-        const auto cg = m.at({w.name, configs[3].describe()});
+    for (const auto &w : run.workloadNames()) {
+        const auto &o5 = run.at(w, "O5");
+        const auto &om = run.at(w, "O5+OM");
+        const auto &nl = run.at(w, "O5+OM+NL_4");
+        const auto &cg = run.at(w, "O5+OM+CGP_4");
         o5_sum += static_cast<double>(o5.icacheMisses);
         om_sum += static_cast<double>(om.icacheMisses);
         nl_sum += static_cast<double>(nl.icacheMisses);
@@ -47,7 +37,7 @@ main()
                     static_cast<double>(o5.icacheMisses),
                 3);
         };
-        t.addRow({w.name, TablePrinter::num(o5.icacheMisses),
+        t.addRow({w, TablePrinter::num(o5.icacheMisses),
                   TablePrinter::num(om.icacheMisses),
                   TablePrinter::num(nl.icacheMisses),
                   TablePrinter::num(cg.icacheMisses),

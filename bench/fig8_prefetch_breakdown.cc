@@ -16,27 +16,17 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const std::vector<SimConfig> configs = {
-        SimConfig::withNL(LayoutKind::PettisHansen, 2),
-        SimConfig::withNL(LayoutKind::PettisHansen, 4),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
-    };
-
-    const ResultMatrix m = runMatrix(set.workloads, configs);
+    const exp::CampaignRun run = runPaperCampaign("fig8");
 
     TablePrinter t("Figure 8 — prefetch classification (all "
                    "workloads summed)");
     t.setHeader({"config", "issued", "pref hits", "delayed hits",
                  "useless", "useful frac", "bus lines"});
-    for (const auto &c : configs) {
+    for (const auto &c : run.configLabels()) {
         PrefetchBreakdown sum;
         std::uint64_t bus = 0;
-        for (const auto &w : set.workloads) {
-            const auto &r = m.at({w.name, c.describe()});
+        for (const auto &w : run.workloadNames()) {
+            const auto &r = run.at(w, c);
             const auto p = r.totalPrefetch();
             sum.issued += p.issued;
             sum.prefHits += p.prefHits;
@@ -44,7 +34,7 @@ main()
             sum.useless += p.useless;
             bus += r.busLines;
         }
-        t.addRow({c.describe(), TablePrinter::num(sum.issued),
+        t.addRow({c, TablePrinter::num(sum.issued),
                   TablePrinter::num(sum.prefHits),
                   TablePrinter::num(sum.delayedHits),
                   TablePrinter::num(sum.useless),
@@ -56,12 +46,10 @@ main()
     TablePrinter pw("Figure 8 — per-workload breakdown");
     pw.setHeader({"workload", "config", "pref hits", "delayed hits",
                   "useless"});
-    for (const auto &w : set.workloads) {
-        for (const auto &c : configs) {
-            const auto p =
-                m.at({w.name, c.describe()}).totalPrefetch();
-            pw.addRow({w.name, c.describe(),
-                       TablePrinter::num(p.prefHits),
+    for (const auto &w : run.workloadNames()) {
+        for (const auto &c : run.configLabels()) {
+            const auto p = run.at(w, c).totalPrefetch();
+            pw.addRow({w, c, TablePrinter::num(p.prefHits),
                        TablePrinter::num(p.delayedHits),
                        TablePrinter::num(p.useless)});
         }

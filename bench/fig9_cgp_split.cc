@@ -19,23 +19,18 @@ main()
     using namespace cgp;
     using namespace cgp::bench;
 
-    std::cerr << "building database workloads...\n";
-    DbWorkloadSet set = WorkloadFactory::buildDbSet();
-
-    const SimConfig cgp4 =
-        SimConfig::withCgp(LayoutKind::PettisHansen, 4);
+    const exp::CampaignRun run = runPaperCampaign("fig9");
 
     TablePrinter t("Figure 9 — CGP_4 prefetches by source");
     t.setHeader({"workload", "source", "issued", "pref hits",
                  "delayed hits", "useless", "useful frac"});
 
     PrefetchBreakdown nl_sum, cghc_sum;
-    for (const auto &w : set.workloads) {
-        std::cerr << "  running " << w.name << "...\n";
-        const SimResult r = runSimulation(w, cgp4);
+    for (const auto &w : run.workloadNames()) {
+        const SimResult &r = run.at(w, "O5+OM+CGP_4");
         const auto add_row = [&t, &w](const char *src,
                                       const PrefetchBreakdown &p) {
-            t.addRow({w.name, src, TablePrinter::num(p.issued),
+            t.addRow({w, src, TablePrinter::num(p.issued),
                       TablePrinter::num(p.prefHits),
                       TablePrinter::num(p.delayedHits),
                       TablePrinter::num(p.useless),

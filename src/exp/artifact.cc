@@ -1,0 +1,142 @@
+#include "exp/artifact.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harness/report.hh"
+#include "util/table.hh"
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0
+        ? 0.0
+        : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // anonymous namespace
+
+Json
+benchJson(const CampaignRun &run)
+{
+    Json j = Json::object();
+    j.set("schema", 1);
+    j.set("bench", run.name);
+    j.set("title", run.title);
+    j.set("seed", run.seed);
+    j.set("fingerprint", run.fingerprint);
+
+    Json exec = Json::object();
+    exec.set("jobs", run.jobs.size());
+    exec.set("executed", run.executed);
+    exec.set("skipped", run.skipped);
+    exec.set("threads", run.threadsUsed);
+    exec.set("steals", run.steals);
+    exec.set("wall_seconds", run.wallSeconds);
+    j.set("execution", std::move(exec));
+
+    Json jobs = Json::array();
+    for (const JobSpec &job : run.jobs) {
+        const SimResult &r = run.results[job.index];
+        Json e = Json::object();
+        e.set("index", job.index);
+        e.set("workload", job.workload);
+        e.set("config", job.label);
+        e.set("seed", job.seed);
+        e.set("result", toJson(r));
+
+        // Derived metrics, precomputed for plotting pipelines.
+        Json d = Json::object();
+        d.set("ipc", r.ipc());
+        d.set("cpi", r.instrs == 0
+                  ? 0.0
+                  : static_cast<double>(r.cycles) /
+                      static_cast<double>(r.instrs));
+        d.set("icache_miss_rate",
+              ratio(r.icacheMisses, r.icacheAccesses));
+        d.set("dcache_miss_rate",
+              ratio(r.dcacheMisses, r.instrs));
+        d.set("l2_miss_rate", ratio(r.l2Misses, r.instrs));
+        const PrefetchBreakdown total = r.totalPrefetch();
+        d.set("prefetch_useful_fraction", total.usefulFraction());
+        e.set("derived", std::move(d));
+        jobs.push(std::move(e));
+    }
+    j.set("jobs", std::move(jobs));
+    return j;
+}
+
+void
+writeBenchJson(const std::string &path, const CampaignRun &run)
+{
+    const std::string text = benchJson(run).dump(2) + "\n";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        throw std::runtime_error("cannot write " + path);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+void
+printCycleTables(const CampaignRun &run, std::ostream &os,
+                 std::size_t normIndex)
+{
+    const std::vector<std::string> workloads = run.workloadNames();
+    const std::vector<std::string> labels = run.configLabels();
+    if (workloads.empty() || labels.empty())
+        return;
+    if (normIndex >= labels.size())
+        normIndex = 0;
+
+    TablePrinter abs(run.title + " — execution cycles");
+    TablePrinter norm(run.title + " — normalized to " +
+                      labels[normIndex] + " (lower is faster)");
+    std::vector<std::string> header{"workload"};
+    header.insert(header.end(), labels.begin(), labels.end());
+    abs.setHeader(header);
+    norm.setHeader(header);
+
+    for (const std::string &w : workloads) {
+        std::vector<std::string> arow{w};
+        std::vector<std::string> nrow{w};
+        const double base = static_cast<double>(
+            run.at(w, labels[normIndex]).cycles);
+        for (const std::string &l : labels) {
+            const SimResult &r = run.at(w, l);
+            arow.push_back(TablePrinter::num(r.cycles));
+            nrow.push_back(TablePrinter::fixed(
+                static_cast<double>(r.cycles) / base, 3));
+        }
+        abs.addRow(arow);
+        norm.addRow(nrow);
+    }
+    abs.print(os);
+    os << "\n";
+    norm.print(os);
+}
+
+double
+geomeanSpeedup(const CampaignRun &run, const std::string &labelA,
+               const std::string &labelB)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (const std::string &w : run.workloadNames()) {
+        const double ca =
+            static_cast<double>(run.at(w, labelA).cycles);
+        const double cb =
+            static_cast<double>(run.at(w, labelB).cycles);
+        log_sum += std::log(ca / cb);
+        ++n;
+    }
+    return n == 0 ? 1.0
+                  : std::exp(log_sum / static_cast<double>(n));
+}
+
+} // namespace cgp::exp

@@ -1,0 +1,181 @@
+#include "exp/campaign.hh"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+/** Join the non-empty labels of the chosen points with '+'. */
+std::string
+joinLabels(const std::vector<std::string> &labels,
+           const SimConfig &config)
+{
+    std::string out;
+    for (const auto &l : labels) {
+        if (l.empty())
+            continue;
+        if (!out.empty())
+            out += '+';
+        out += l;
+    }
+    return out.empty() ? config.describe() : out;
+}
+
+} // anonymous namespace
+
+std::vector<ExpandedConfig>
+expandConfigs(const CampaignSpec &spec)
+{
+    std::vector<ExpandedConfig> out;
+
+    if (spec.axes.empty()) {
+        if (spec.explicitConfigs.empty()) {
+            throw std::invalid_argument(
+                "campaign '" + spec.name +
+                "' has neither axes nor explicit configs");
+        }
+        if (!spec.explicitLabels.empty() &&
+            spec.explicitLabels.size() !=
+                spec.explicitConfigs.size()) {
+            throw std::invalid_argument(
+                "campaign '" + spec.name +
+                "': explicitLabels/explicitConfigs length mismatch");
+        }
+        for (std::size_t i = 0; i < spec.explicitConfigs.size();
+             ++i) {
+            const SimConfig &c = spec.explicitConfigs[i];
+            std::string label = spec.explicitLabels.empty()
+                ? c.describe()
+                : spec.explicitLabels[i];
+            if (label.empty())
+                label = c.describe();
+            out.push_back({c, std::move(label)});
+        }
+        return out;
+    }
+
+    for (const ConfigAxis &axis : spec.axes) {
+        if (axis.points.empty()) {
+            throw std::invalid_argument("campaign '" + spec.name +
+                                        "': axis '" + axis.name +
+                                        "' has no points");
+        }
+    }
+
+    if (spec.mode == SweepMode::Zip) {
+        const std::size_t len = spec.axes.front().points.size();
+        for (const ConfigAxis &axis : spec.axes) {
+            if (axis.points.size() != len) {
+                throw std::invalid_argument(
+                    "campaign '" + spec.name +
+                    "': zip axes must have equal length (axis '" +
+                    axis.name + "')");
+            }
+        }
+        for (std::size_t i = 0; i < len; ++i) {
+            SimConfig c = spec.base;
+            std::vector<std::string> labels;
+            for (const ConfigAxis &axis : spec.axes) {
+                const AxisPoint &p = axis.points[i];
+                if (p.apply)
+                    p.apply(c);
+                labels.push_back(p.label);
+            }
+            out.push_back({c, joinLabels(labels, c)});
+        }
+        return out;
+    }
+
+    // Cartesian: odometer with the first axis varying slowest.
+    std::vector<std::size_t> idx(spec.axes.size(), 0);
+    for (;;) {
+        SimConfig c = spec.base;
+        std::vector<std::string> labels;
+        for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+            const AxisPoint &p = spec.axes[a].points[idx[a]];
+            if (p.apply)
+                p.apply(c);
+            labels.push_back(p.label);
+        }
+        out.push_back({c, joinLabels(labels, c)});
+
+        std::size_t a = spec.axes.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < spec.axes[a].points.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return out;
+        }
+    }
+}
+
+std::uint64_t
+jobSeed(std::uint64_t campaignSeed, std::uint64_t index)
+{
+    // splitmix64 over (seed ^ golden-ratio-spaced index).
+    std::uint64_t z =
+        campaignSeed ^ (index * 0x9e3779b97f4a7c15ull);
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<JobSpec>
+expandJobs(const CampaignSpec &spec)
+{
+    if (spec.workloads.empty()) {
+        throw std::invalid_argument("campaign '" + spec.name +
+                                    "' has no workloads");
+    }
+    const std::vector<ExpandedConfig> configs = expandConfigs(spec);
+    std::vector<JobSpec> jobs;
+    jobs.reserve(spec.workloads.size() * configs.size());
+    for (const std::string &w : spec.workloads) {
+        for (const ExpandedConfig &c : configs) {
+            JobSpec j;
+            j.index = jobs.size();
+            j.workload = w;
+            j.config = c.config;
+            j.label = c.label;
+            j.seed = jobSeed(spec.seed, j.index);
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+std::string
+fingerprint(const CampaignSpec &spec,
+            const std::vector<JobSpec> &jobs)
+{
+    // FNV-1a over the campaign identity and every job identity.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::string_view s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0xff; // field separator
+        h *= 0x100000001b3ull;
+    };
+    mix(spec.name);
+    mix(std::to_string(spec.seed));
+    for (const JobSpec &j : jobs) {
+        mix(j.key());
+        mix(std::to_string(j.seed));
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace cgp::exp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Declarative experiment campaigns.
+ *
+ * A CampaignSpec turns the ad-hoc (workload x config) loops of the
+ * bench binaries into data: a list of workload names, a base
+ * SimConfig, and named *axes* whose labeled points mutate the base
+ * config.  Axes combine cartesian (every combination, first axis
+ * slowest-varying) or zipped (element-wise, all axes equal length).
+ * Expansion yields a flat, stable job list — workload-major, config
+ * order as swept — where every job carries its own derived seed, so
+ * a campaign's job list is a pure function of its spec regardless of
+ * how many threads later execute it.
+ */
+
+#ifndef CGP_EXP_CAMPAIGN_HH
+#define CGP_EXP_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/simconfig.hh"
+
+namespace cgp::exp
+{
+
+/** One labeled point on an axis: a named mutation of a SimConfig. */
+struct AxisPoint
+{
+    /**
+     * Display label.  Labels of the chosen points are joined with
+     * '+' to form the job's config label; when every chosen label is
+     * empty the label falls back to SimConfig::describe() — which is
+     * ambiguous for sweeps the describe() string does not cover
+     * (e.g. CGHC geometry), hence explicit labels.
+     */
+    std::string label;
+    std::function<void(SimConfig &)> apply;
+};
+
+/** A named sweep dimension. */
+struct ConfigAxis
+{
+    std::string name;
+    std::vector<AxisPoint> points;
+};
+
+enum class SweepMode
+{
+    Cartesian, ///< every combination; first axis varies slowest
+    Zip        ///< element-wise; all axes must have equal length
+};
+
+/** A config produced by expansion, with its display label. */
+struct ExpandedConfig
+{
+    SimConfig config;
+    std::string label;
+};
+
+struct CampaignSpec
+{
+    /** Key for run directories and BENCH_<name>.json artifacts. */
+    std::string name;
+
+    /** Human-readable heading for tables and reports. */
+    std::string title;
+
+    /** Workload names, resolved by a WorkloadProvider at run time. */
+    std::vector<std::string> workloads;
+
+    /** Start point every axis point mutates. */
+    SimConfig base;
+
+    /** Sweep dimensions; empty means use explicitConfigs. */
+    std::vector<ConfigAxis> axes;
+
+    SweepMode mode = SweepMode::Cartesian;
+
+    /** Alternative to axes: configs listed out by hand. */
+    std::vector<SimConfig> explicitConfigs;
+
+    /** Labels for explicitConfigs (optional; describe() otherwise). */
+    std::vector<std::string> explicitLabels;
+
+    /** Campaign seed; every job derives its own seed from it. */
+    std::uint64_t seed = 0;
+};
+
+/** One schedulable unit: a single runSimulation() point. */
+struct JobSpec
+{
+    std::size_t index = 0; ///< position in expansion order
+    std::string workload;
+    SimConfig config;
+    std::string label; ///< config label (result's `config` field)
+    std::uint64_t seed = 0;
+
+    /** Identity within a campaign (resume matching, matrices). */
+    std::string
+    key() const
+    {
+        return workload + "|" + label;
+    }
+};
+
+/**
+ * Expand the config dimension of a spec.
+ * @throws std::invalid_argument on an ill-formed spec (no configs,
+ * zip axes of unequal length).
+ */
+std::vector<ExpandedConfig> expandConfigs(const CampaignSpec &spec);
+
+/** Expand the full job list, workload-major. */
+std::vector<JobSpec> expandJobs(const CampaignSpec &spec);
+
+/** Deterministic per-job seed: mixes the campaign seed and index. */
+std::uint64_t jobSeed(std::uint64_t campaignSeed, std::uint64_t index);
+
+/**
+ * Spec fingerprint over the expanded job identities (16 hex chars).
+ * Two specs that expand to the same jobs are interchangeable for
+ * resume purposes; anything else must not share a run directory.
+ */
+std::string fingerprint(const CampaignSpec &spec,
+                        const std::vector<JobSpec> &jobs);
+
+} // namespace cgp::exp
+
+#endif // CGP_EXP_CAMPAIGN_HH

@@ -1,0 +1,404 @@
+#include "exp/campaigns.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "harness/workload.hh"
+#include "spec/cpu2000.hh"
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+/** The smoke campaign's tiny synthetic programs (~100K instrs). */
+spec::SpecProgramSpec
+smokeProgram(const std::string &name, unsigned functions,
+             double workPerCall)
+{
+    spec::SpecProgramSpec s;
+    s.name = name;
+    s.functions = functions;
+    s.hotFunctions = functions / 2;
+    s.workPerCall = workPerCall;
+    s.trainInstrs = 120'000;
+    s.testInstrs = 30'000;
+    return s;
+}
+
+SimConfig
+cgp4om()
+{
+    return SimConfig::withCgp(LayoutKind::PettisHansen, 4);
+}
+
+/** An axis point that swaps in a whole named configuration. */
+AxisPoint
+configPoint(std::string label, SimConfig config)
+{
+    return AxisPoint{std::move(label),
+                     [config](SimConfig &c) { c = config; }};
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+dbWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"};
+    return names;
+}
+
+std::vector<std::string>
+cpu2000WorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const spec::SpecProgramSpec &s : spec::cpu2000Suite())
+        names.push_back(s.name);
+    return names;
+}
+
+const std::vector<std::string> &
+smokeWorkloadNames()
+{
+    static const std::vector<std::string> names = {"smoke-a",
+                                                   "smoke-b"};
+    return names;
+}
+
+Workload
+PaperWorkloadBank::resolve(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return it->second;
+
+    const auto &db = dbWorkloadNames();
+    if (!dbBuilt_ &&
+        std::find(db.begin(), db.end(), name) != db.end()) {
+        DbWorkloadSet set = WorkloadFactory::buildDbSet();
+        for (Workload &w : set.workloads)
+            cache_.emplace(w.name, std::move(w));
+        dbBuilt_ = true;
+        return cache_.at(name);
+    }
+
+    if (!cpuBuilt_) {
+        const std::vector<std::string> cpu = cpu2000WorkloadNames();
+        if (std::find(cpu.begin(), cpu.end(), name) != cpu.end()) {
+            for (Workload &w :
+                 WorkloadFactory::buildCpu2000Suite())
+                cache_.emplace(w.name, std::move(w));
+            cpuBuilt_ = true;
+            return cache_.at(name);
+        }
+    }
+
+    if (name == "smoke-a" || name == "smoke-b") {
+        const auto program = name == "smoke-a"
+            ? smokeProgram("smoke-a", 60, 50.0)
+            : smokeProgram("smoke-b", 90, 70.0);
+        Workload w = WorkloadFactory::buildSpec(program);
+        cache_.emplace(name, w);
+        return w;
+    }
+
+    throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+namespace
+{
+
+CampaignSpec
+makeFig4()
+{
+    CampaignSpec s;
+    s.name = "fig4";
+    s.title = "Figure 4 — O5 vs OM vs CGP";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5(),
+        SimConfig::o5Om(),
+        SimConfig::withCgp(LayoutKind::Original, 2),
+        SimConfig::withCgp(LayoutKind::Original, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
+    };
+    return s;
+}
+
+CampaignSpec
+makeFig5()
+{
+    CampaignSpec s;
+    s.name = "fig5";
+    s.title = "Figure 5 — CGP_4 by CGHC size";
+    s.workloads = dbWorkloadNames();
+    s.base = cgp4om();
+    ConfigAxis geom{"cghc", {}};
+    const std::vector<std::pair<std::string, CghcConfig>> geoms = {
+        {"CGHC-1K", CghcConfig::oneLevel1K()},
+        {"CGHC-32K", CghcConfig::oneLevel32K()},
+        {"CGHC-1K+16K", CghcConfig::twoLevel1K16K()},
+        {"CGHC-2K+32K", CghcConfig::twoLevel2K32K()},
+        {"CGHC-Inf", CghcConfig::infiniteSize()},
+    };
+    for (const auto &[label, g] : geoms) {
+        CghcConfig geom_copy = g;
+        geom.points.push_back(
+            {label, [geom_copy](SimConfig &c) {
+                 c.cghc = geom_copy;
+             }});
+    }
+    s.axes.push_back(std::move(geom));
+    return s;
+}
+
+CampaignSpec
+makeFig6()
+{
+    CampaignSpec s;
+    s.name = "fig6";
+    s.title = "Figure 6 — NL vs CGP vs perfect I-cache";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5(),
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 2),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4),
+        SimConfig::perfectICacheOn(LayoutKind::PettisHansen),
+    };
+    return s;
+}
+
+CampaignSpec
+makeFig7()
+{
+    CampaignSpec s;
+    s.name = "fig7";
+    s.title = "Figure 7 — I-cache misses";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5(),
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        cgp4om(),
+    };
+    return s;
+}
+
+CampaignSpec
+makeFig8()
+{
+    CampaignSpec s;
+    s.name = "fig8";
+    s.title = "Figure 8 — prefetch breakdown";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::withNL(LayoutKind::PettisHansen, 2),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 2),
+        cgp4om(),
+    };
+    return s;
+}
+
+CampaignSpec
+makeFig9()
+{
+    CampaignSpec s;
+    s.name = "fig9";
+    s.title = "Figure 9 — CGP prefetches by source";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {cgp4om()};
+    return s;
+}
+
+CampaignSpec
+makeFig10()
+{
+    CampaignSpec s;
+    s.name = "fig10";
+    s.title = "Figure 10 — CPU2000";
+    s.workloads = cpu2000WorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        cgp4om(),
+        SimConfig::perfectICacheOn(LayoutKind::PettisHansen),
+    };
+    return s;
+}
+
+CampaignSpec
+makeAblationRanl()
+{
+    CampaignSpec s;
+    s.name = "ablation-ranl";
+    s.title = "Run-ahead NL ablation (§5.6)";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 2),
+        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 4),
+        SimConfig::withRunAheadNL(LayoutKind::PettisHansen, 4, 8),
+    };
+    return s;
+}
+
+CampaignSpec
+makeAblationDepth()
+{
+    CampaignSpec s;
+    s.name = "ablation-design-depth";
+    s.title = "CGP_N depth sweep (OM binary)";
+    s.workloads = dbWorkloadNames();
+    ConfigAxis depth{"depth", {}};
+    for (const unsigned n : {1u, 2u, 4u, 6u, 8u}) {
+        depth.points.push_back(configPoint(
+            "", SimConfig::withCgp(LayoutKind::PettisHansen, n)));
+    }
+    s.axes.push_back(std::move(depth));
+    return s;
+}
+
+CampaignSpec
+makeAblationLayout()
+{
+    CampaignSpec s;
+    s.name = "ablation-design-layout";
+    s.title = "CGP without OM (legacy binaries, §5.2)";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5(),
+        SimConfig::withCgp(LayoutKind::Original, 4),
+        cgp4om(),
+    };
+    return s;
+}
+
+CampaignSpec
+makeAblationSwCgp()
+{
+    CampaignSpec s;
+    s.name = "ablation-swcgp";
+    s.title = "Software CGP vs hardware CGP (§6)";
+    s.workloads = dbWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::o5Om(),
+        SimConfig::withNL(LayoutKind::PettisHansen, 4),
+        SimConfig::withSoftwareCgp(LayoutKind::PettisHansen, 4),
+        cgp4om(),
+    };
+    return s;
+}
+
+CampaignSpec
+makeAblationAssoc()
+{
+    CampaignSpec s;
+    s.name = "ablation-swcgp-assoc";
+    s.title = "CGHC associativity (§3.2)";
+    s.workloads = dbWorkloadNames();
+    ConfigAxis assoc{"assoc", {}};
+    for (const unsigned a : {1u, 2u, 4u}) {
+        CghcConfig geom = CghcConfig::twoLevel2K32K();
+        geom.assoc = a;
+        assoc.points.push_back(configPoint(
+            geom.describe(),
+            SimConfig::withCgpGeometry(LayoutKind::PettisHansen, 4,
+                                       geom)));
+    }
+    s.axes.push_back(std::move(assoc));
+    return s;
+}
+
+CampaignSpec
+makeSmoke()
+{
+    CampaignSpec s;
+    s.name = "smoke";
+    s.title = "Campaign smoke (2x2)";
+    s.workloads = smokeWorkloadNames();
+    ConfigAxis cfg{"config", {}};
+    cfg.points.push_back(configPoint("", SimConfig::o5Om()));
+    cfg.points.push_back(configPoint("", cgp4om()));
+    s.axes.push_back(std::move(cfg));
+    return s;
+}
+
+const std::vector<std::string> figureNames = {
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"};
+
+const std::vector<std::string> ablationNames = {
+    "ablation-ranl", "ablation-design-depth",
+    "ablation-design-layout", "ablation-swcgp",
+    "ablation-swcgp-assoc"};
+
+} // anonymous namespace
+
+std::vector<std::string>
+campaignNames()
+{
+    std::vector<std::string> names = figureNames;
+    names.insert(names.end(), ablationNames.begin(),
+                 ablationNames.end());
+    names.push_back("smoke");
+    return names;
+}
+
+CampaignSpec
+paperCampaign(const std::string &name)
+{
+    if (name == "fig4")
+        return makeFig4();
+    if (name == "fig5")
+        return makeFig5();
+    if (name == "fig6")
+        return makeFig6();
+    if (name == "fig7")
+        return makeFig7();
+    if (name == "fig8")
+        return makeFig8();
+    if (name == "fig9")
+        return makeFig9();
+    if (name == "fig10")
+        return makeFig10();
+    if (name == "ablation-ranl")
+        return makeAblationRanl();
+    if (name == "ablation-design-depth")
+        return makeAblationDepth();
+    if (name == "ablation-design-layout")
+        return makeAblationLayout();
+    if (name == "ablation-swcgp")
+        return makeAblationSwCgp();
+    if (name == "ablation-swcgp-assoc")
+        return makeAblationAssoc();
+    if (name == "smoke")
+        return makeSmoke();
+    throw std::invalid_argument("unknown campaign '" + name + "'");
+}
+
+std::vector<std::string>
+campaignGroup(const std::string &name)
+{
+    if (name == "figures")
+        return figureNames;
+    if (name == "ablations")
+        return ablationNames;
+    if (name == "all") {
+        std::vector<std::string> all = figureNames;
+        all.insert(all.end(), ablationNames.begin(),
+                   ablationNames.end());
+        return all;
+    }
+    paperCampaign(name); // validates
+    return {name};
+}
+
+} // namespace cgp::exp

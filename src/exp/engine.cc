@@ -1,0 +1,161 @@
+#include "exp/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "exp/rundir.hh"
+#include "exp/scheduler.hh"
+#include "util/logging.hh"
+
+namespace cgp::exp
+{
+
+Workload
+InMemoryProvider::resolve(const std::string &name)
+{
+    for (const Workload &w : workloads_) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+std::vector<std::string>
+CampaignRun::workloadNames() const
+{
+    std::vector<std::string> out;
+    for (const JobSpec &j : jobs) {
+        if (std::find(out.begin(), out.end(), j.workload) ==
+            out.end())
+            out.push_back(j.workload);
+    }
+    return out;
+}
+
+std::vector<std::string>
+CampaignRun::configLabels() const
+{
+    std::vector<std::string> out;
+    for (const JobSpec &j : jobs) {
+        if (std::find(out.begin(), out.end(), j.label) == out.end())
+            out.push_back(j.label);
+    }
+    return out;
+}
+
+const SimResult *
+CampaignRun::find(const std::string &workload,
+                  const std::string &label) const
+{
+    for (const JobSpec &j : jobs) {
+        if (j.workload == workload && j.label == label)
+            return &results[j.index];
+    }
+    return nullptr;
+}
+
+const SimResult &
+CampaignRun::at(const std::string &workload,
+                const std::string &label) const
+{
+    const SimResult *r = find(workload, label);
+    if (r == nullptr) {
+        throw std::out_of_range("no result for " + workload + "|" +
+                                label);
+    }
+    return *r;
+}
+
+CampaignRun
+runCampaign(const CampaignSpec &spec, WorkloadProvider &provider,
+            const EngineOptions &options)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    CampaignRun run;
+    run.name = spec.name;
+    run.title = spec.title;
+    run.seed = spec.seed;
+    run.jobs = expandJobs(spec);
+    run.fingerprint = fingerprint(spec, run.jobs);
+    run.results.resize(run.jobs.size());
+
+    RunDir dir(options.runDir);
+    dir.prepare(spec, run.jobs, run.fingerprint);
+
+    // Jobs whose result files survived a previous invocation are
+    // loaded, not re-run.
+    std::vector<std::size_t> pending;
+    if (options.resume && dir.enabled()) {
+        std::map<std::size_t, SimResult> done =
+            dir.loadCompleted(run.jobs);
+        for (auto &[index, result] : done) {
+            run.results[index] = std::move(result);
+            dir.markDone(index);
+        }
+        dir.flushManifest();
+        run.skipped = done.size();
+        for (const JobSpec &j : run.jobs) {
+            if (done.find(j.index) == done.end())
+                pending.push_back(j.index);
+        }
+    } else {
+        for (const JobSpec &j : run.jobs)
+            pending.push_back(j.index);
+    }
+
+    if (options.verbose && run.skipped > 0) {
+        cgp_inform("[", spec.name, "] resume: ", run.skipped,
+                   " of ", run.jobs.size(),
+                   " jobs already completed");
+    }
+
+    // Resolve each distinct workload once, up front, on this thread;
+    // jobs share the built instances read-only.
+    std::map<std::string, Workload> workloads;
+    for (const std::size_t index : pending) {
+        const std::string &name = run.jobs[index].workload;
+        if (workloads.find(name) == workloads.end())
+            workloads.emplace(name, provider.resolve(name));
+    }
+
+    std::mutex record_mu;
+    const ScheduleStats stats = runJobs(
+        pending.size(), options.threads, [&](std::size_t k) {
+            const JobSpec &job = run.jobs[pending[k]];
+            if (options.verbose) {
+                cgp_inform("[", spec.name, ":", job.index, " ",
+                           job.workload, "/", job.label,
+                           "] running");
+            }
+            SimResult r =
+                runSimulation(workloads.at(job.workload),
+                              job.config);
+            // Sweeps can distinguish configs describe() cannot
+            // (CGHC geometry): the label is the result identity.
+            r.config = job.label;
+
+            std::lock_guard<std::mutex> lock(record_mu);
+            dir.recordResult(job, r);
+            run.results[job.index] = std::move(r);
+            ++run.executed;
+            if (options.verbose) {
+                cgp_inform("[", spec.name, ":", job.index, " ",
+                           job.workload, "/", job.label,
+                           "] done: cycles=",
+                           run.results[job.index].cycles);
+            }
+        });
+
+    run.threadsUsed = stats.threads;
+    run.steals = stats.steals;
+    run.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return run;
+}
+
+} // namespace cgp::exp

@@ -1,0 +1,228 @@
+#include "exp/rundir.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/fault.hh"
+#include "harness/report.hh"
+#include "util/json.hh"
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+constexpr int manifestSchema = 1;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // anonymous namespace
+
+RunDir::RunDir(std::string path) : path_(std::move(path)) {}
+
+std::string
+RunDir::jobFileName(std::size_t index)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "job-%04zu.json", index);
+    return buf;
+}
+
+std::string
+RunDir::manifestPath() const
+{
+    return path_ + "/manifest.json";
+}
+
+std::string
+RunDir::jobFilePath(std::size_t index) const
+{
+    return path_ + "/" + jobFileName(index);
+}
+
+void
+RunDir::prepare(const CampaignSpec &spec,
+                const std::vector<JobSpec> &jobs,
+                const std::string &fingerprint)
+{
+    if (!enabled())
+        return;
+    campaign_ = spec.name;
+    title_ = spec.title;
+    seed_ = spec.seed;
+    fingerprint_ = fingerprint;
+    jobs_ = jobs;
+    done_.assign(jobs.size(), false);
+
+    std::filesystem::create_directories(path_);
+    if (std::filesystem::exists(manifestPath())) {
+        const Json m = Json::parse(readFile(manifestPath()));
+        const std::string existing =
+            m.at("fingerprint").asString();
+        if (existing != fingerprint_) {
+            throw std::runtime_error(
+                "run directory " + path_ +
+                " holds a different campaign/spec (fingerprint " +
+                existing + " != " + fingerprint_ + ")");
+        }
+    }
+    writeManifest();
+}
+
+void
+RunDir::writeFileAtomic(const std::string &path,
+                        const std::string &contents) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot write " + tmp);
+        out << contents;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("short write to " + tmp);
+    }
+    std::filesystem::rename(tmp, path);
+}
+
+void
+RunDir::writeManifest() const
+{
+    Json m = Json::object();
+    m.set("schema", manifestSchema);
+    m.set("campaign", campaign_);
+    m.set("title", title_);
+    m.set("seed", seed_);
+    m.set("fingerprint", fingerprint_);
+    Json jobs = Json::array();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const JobSpec &j = jobs_[i];
+        Json e = Json::object();
+        e.set("index", j.index);
+        e.set("workload", j.workload);
+        e.set("config", j.label);
+        e.set("seed", j.seed);
+        e.set("file", jobFileName(j.index));
+        e.set("status", done_[i] ? "done" : "pending");
+        jobs.push(std::move(e));
+    }
+    m.set("jobs", std::move(jobs));
+    writeFileAtomic(manifestPath(), m.dump(2) + "\n");
+}
+
+void
+RunDir::flushManifest() const
+{
+    if (enabled())
+        writeManifest();
+}
+
+std::map<std::size_t, SimResult>
+RunDir::loadCompleted(const std::vector<JobSpec> &jobs) const
+{
+    std::map<std::size_t, SimResult> out;
+    if (!enabled())
+        return out;
+    for (const JobSpec &j : jobs) {
+        const std::string path = jobFilePath(j.index);
+        if (!std::filesystem::exists(path))
+            continue;
+        try {
+            const Json f = Json::parse(readFile(path));
+            if (f.at("fingerprint").asString() != fingerprint_ ||
+                f.at("index").asUint() != j.index ||
+                f.at("workload").asString() != j.workload ||
+                f.at("config").asString() != j.label ||
+                f.at("seed").asUint() != j.seed) {
+                continue;
+            }
+            out.emplace(j.index,
+                        simResultFromJson(f.at("result")));
+        } catch (const std::exception &) {
+            // Torn or foreign file: treat the job as not completed.
+        }
+    }
+    return out;
+}
+
+void
+RunDir::recordResult(const JobSpec &job, const SimResult &result)
+{
+    if (!enabled())
+        return;
+    // Crash here = the job dies before its result is durable; a
+    // resumed campaign runs it again.
+    fault::hit("exp.pre_record");
+
+    Json f = Json::object();
+    f.set("schema", manifestSchema);
+    f.set("fingerprint", fingerprint_);
+    f.set("index", job.index);
+    f.set("workload", job.workload);
+    f.set("config", job.label);
+    f.set("seed", job.seed);
+    f.set("result", toJson(result));
+    writeFileAtomic(jobFilePath(job.index), f.dump(2) + "\n");
+
+    done_[job.index] = true;
+    writeManifest();
+
+    // Crash here = the process dies with the job fully recorded; a
+    // resumed campaign must skip it.
+    fault::hit("exp.record");
+}
+
+void
+RunDir::markDone(std::size_t index)
+{
+    if (!enabled())
+        return;
+    done_[index] = true;
+}
+
+LoadedRun
+loadRunDir(const std::string &path)
+{
+    LoadedRun run;
+    const Json m = Json::parse(readFile(path + "/manifest.json"));
+    run.campaign = m.at("campaign").asString();
+    run.title = m.at("title").asString();
+    run.fingerprint = m.at("fingerprint").asString();
+    run.seed = m.at("seed").asUint();
+    for (const Json &e : m.at("jobs").items()) {
+        JobSpec j;
+        j.index = e.at("index").asUint();
+        j.workload = e.at("workload").asString();
+        j.label = e.at("config").asString();
+        j.seed = e.at("seed").asUint();
+        const std::string file =
+            path + "/" + e.at("file").asString();
+        try {
+            const Json f = Json::parse(readFile(file));
+            if (f.at("fingerprint").asString() == run.fingerprint) {
+                run.results.emplace(
+                    j.index, simResultFromJson(f.at("result")));
+            }
+        } catch (const std::exception &) {
+            // Incomplete job: reported as missing.
+        }
+        run.jobs.push_back(std::move(j));
+    }
+    return run;
+}
+
+} // namespace cgp::exp

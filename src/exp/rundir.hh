@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Resumable run directory for a campaign.
+ *
+ * Layout:
+ *
+ *     <dir>/manifest.json   campaign identity + per-job status
+ *     <dir>/job-0000.json   one completed job: spec echo + SimResult
+ *
+ * The per-job files are the source of truth for completion — a job
+ * counts as done iff its file exists, parses, and carries the
+ * campaign fingerprint and matching job key.  The manifest is a
+ * human- and tool-friendly summary that is rewritten (atomically,
+ * via tmp+rename) after every completion; a crash between a job file
+ * and its manifest update therefore loses nothing, because resume
+ * rescans the job files and rebuilds the statuses.
+ *
+ * Everything written here is deterministic: no timestamps, no thread
+ * counts, fixed member order.  Running the same spec at any
+ * parallelism yields byte-identical manifests and job files — the
+ * property the determinism tests pin down.
+ *
+ * Crash points "exp.pre_record" (before the job file: the job is
+ * lost) and "exp.record" (after job file + manifest: the job
+ * survives) let the fault injector simulate a kill at either side of
+ * the durability boundary.
+ *
+ * Not internally synchronized: the engine serializes record calls.
+ */
+
+#ifndef CGP_EXP_RUNDIR_HH
+#define CGP_EXP_RUNDIR_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hh"
+#include "harness/simulator.hh"
+
+namespace cgp::exp
+{
+
+class RunDir
+{
+  public:
+    /** @p path empty disables persistence (all calls no-op). */
+    explicit RunDir(std::string path);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Create the directory and install the job list.  An existing
+     * manifest must carry the same fingerprint.
+     * @throws std::runtime_error if the directory already holds a
+     * different campaign (fingerprint mismatch).
+     */
+    void prepare(const CampaignSpec &spec,
+                 const std::vector<JobSpec> &jobs,
+                 const std::string &fingerprint);
+
+    /**
+     * Scan job files and return results of every validly completed
+     * job, keyed by job index.  Files that are missing, unparsable,
+     * or from a different spec are ignored (their jobs re-run).
+     */
+    std::map<std::size_t, SimResult>
+    loadCompleted(const std::vector<JobSpec> &jobs) const;
+
+    /**
+     * Persist one completed job: write its file (atomic rename),
+     * then rewrite the manifest with the job marked "done".
+     */
+    void recordResult(const JobSpec &job, const SimResult &result);
+
+    /** Mark @p index done without rewriting its file (resume). */
+    void markDone(std::size_t index);
+
+    /** Rewrite the manifest to match the in-memory statuses. */
+    void flushManifest() const;
+
+    static std::string jobFileName(std::size_t index);
+
+    std::string manifestPath() const;
+    std::string jobFilePath(std::size_t index) const;
+
+  private:
+    void writeManifest() const;
+    void writeFileAtomic(const std::string &path,
+                         const std::string &contents) const;
+
+    std::string path_;
+    std::string fingerprint_;
+    std::string campaign_;
+    std::string title_;
+    std::uint64_t seed_ = 0;
+    std::vector<JobSpec> jobs_;
+    std::vector<bool> done_;
+};
+
+/** A run directory read back without re-running anything. */
+struct LoadedRun
+{
+    std::string campaign;
+    std::string title;
+    std::string fingerprint;
+    std::uint64_t seed = 0;
+    /** Jobs in manifest order (index, workload, label, seed). */
+    std::vector<JobSpec> jobs;
+    /** Results by job index; missing entries were never completed. */
+    std::map<std::size_t, SimResult> results;
+};
+
+/**
+ * Read a run directory for reporting (`cgpbench report`).
+ * @throws std::runtime_error if the manifest is missing/corrupt.
+ */
+LoadedRun loadRunDir(const std::string &path);
+
+} // namespace cgp::exp
+
+#endif // CGP_EXP_RUNDIR_HH

@@ -1,0 +1,122 @@
+#include "exp/scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+/** One worker's job deque (own pops at front, thieves at back). */
+struct WorkerQueue
+{
+    std::mutex mu;
+    std::deque<std::size_t> jobs;
+
+    std::optional<std::size_t>
+    popFront()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t j = jobs.front();
+        jobs.pop_front();
+        return j;
+    }
+
+    std::optional<std::size_t>
+    stealBack()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t j = jobs.back();
+        jobs.pop_back();
+        return j;
+    }
+};
+
+} // anonymous namespace
+
+ScheduleStats
+runJobs(std::size_t n, unsigned threads,
+        const std::function<void(std::size_t)> &fn)
+{
+    ScheduleStats stats;
+    if (n == 0)
+        return stats;
+
+    unsigned workers = threads != 0
+        ? threads
+        : std::max(1u, std::thread::hardware_concurrency());
+    if (static_cast<std::size_t>(workers) > n)
+        workers = static_cast<unsigned>(n);
+    stats.threads = workers;
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return stats;
+    }
+
+    std::vector<WorkerQueue> queues(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        queues[i % workers].jobs.push_back(i);
+
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::uint64_t> steals{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+
+    const auto worker = [&](unsigned self) {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return;
+            std::optional<std::size_t> job =
+                queues[self].popFront();
+            if (!job) {
+                // Own queue dry: sweep the other queues once; if
+                // every one is empty the pool is done.
+                for (unsigned v = 1; v < workers && !job; ++v) {
+                    job = queues[(self + v) % workers].stealBack();
+                }
+                if (!job)
+                    return;
+                steals.fetch_add(1, std::memory_order_relaxed);
+            }
+            try {
+                fn(*job);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    stats.steals = steals.load();
+    if (error)
+        std::rethrow_exception(error);
+    return stats;
+}
+
+} // namespace cgp::exp

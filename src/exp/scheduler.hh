@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Work-stealing job scheduler for independent experiment jobs.
+ *
+ * runJobs() executes fn(0..n-1) on a pool of worker threads.  Jobs
+ * are dealt round-robin into per-worker deques; a worker drains its
+ * own deque from the front and, when empty, steals from the back of
+ * a victim's, so long-running jobs (the big DB workloads) do not
+ * strand short ones behind them.  Completion *order* is therefore
+ * nondeterministic — callers must key results by job index, never by
+ * completion sequence; the campaign engine writes into a
+ * pre-allocated results vector for exactly this reason.
+ *
+ * The first exception thrown by any job cancels all not-yet-started
+ * jobs and is rethrown on the calling thread once the pool has
+ * joined, so an injected CrashInjected behaves like a process kill:
+ * in-flight work stops, and whatever was already recorded stays
+ * recorded.
+ */
+
+#ifndef CGP_EXP_SCHEDULER_HH
+#define CGP_EXP_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace cgp::exp
+{
+
+struct ScheduleStats
+{
+    unsigned threads = 1;      ///< workers actually spawned
+    std::uint64_t steals = 0;  ///< jobs taken from another worker
+};
+
+/**
+ * Run @p fn for every index in [0, n).  @p threads == 0 selects
+ * hardware concurrency; the pool never exceeds @p n workers.  With
+ * one worker (or n <= 1) jobs run inline on the calling thread in
+ * index order.
+ */
+ScheduleStats runJobs(std::size_t n, unsigned threads,
+                      const std::function<void(std::size_t)> &fn);
+
+} // namespace cgp::exp
+
+#endif // CGP_EXP_SCHEDULER_HH

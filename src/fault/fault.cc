@@ -1,6 +1,7 @@
 #include "fault/fault.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -35,6 +36,10 @@ FaultInjector::crashPoints()
         "volume.write",   ///< Volume::writePage device access
         "prefetch.issue", ///< prefetcher line-issue path
         "prefetch.train", ///< prefetcher call/return trace observation
+        "exp.pre_record", ///< campaign engine, before a job result is
+                          ///< persisted (the job is lost on crash)
+        "exp.record",     ///< campaign engine, after a job result and
+                          ///< manifest are durable (job survives)
     };
     return points;
 }
@@ -53,37 +58,45 @@ FaultInjector::arm(std::string_view point, const FaultSpec &spec)
     cgp_assert(isRegistered(point),
                "arming unregistered crash point ", point);
     cgp_assert(spec.count > 0, "armed fault must fire at least once");
+    std::lock_guard<std::mutex> lock(mu_);
     armed_[std::string(point)] = Armed{spec, 0};
 }
 
 void
 FaultInjector::disarm(std::string_view point)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     armed_.erase(std::string(point));
 }
 
 void
 FaultInjector::disarmAll()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     armed_.clear();
 }
 
 std::optional<FaultKind>
 FaultInjector::hit(std::string_view point)
 {
-    const std::uint64_t n = ++hits_[std::string(point)];
+    std::uint64_t n;
+    FaultKind kind;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        n = ++hits_[std::string(point)];
 
-    auto it = armed_.find(std::string(point));
-    if (it == armed_.end())
-        return std::nullopt;
+        auto it = armed_.find(std::string(point));
+        if (it == armed_.end())
+            return std::nullopt;
 
-    Armed &a = it->second;
-    if (n <= a.spec.afterHits || a.firedCount >= a.spec.count)
-        return std::nullopt;
+        Armed &a = it->second;
+        if (n <= a.spec.afterHits || a.firedCount >= a.spec.count)
+            return std::nullopt;
 
-    ++a.firedCount;
-    const FaultKind kind = a.spec.kind;
-    fired_.push_back(FaultEvent{std::string(point), kind, n});
+        ++a.firedCount;
+        kind = a.spec.kind;
+        fired_.push_back(FaultEvent{std::string(point), kind, n});
+    }
     cgp_warn("fault injected: ", point, " kind=", toString(kind),
              " hit#", n);
     if (kind == FaultKind::Crash)
@@ -94,6 +107,7 @@ FaultInjector::hit(std::string_view point)
 std::uint64_t
 FaultInjector::hitCount(std::string_view point) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = hits_.find(std::string(point));
     return it == hits_.end() ? 0 : it->second;
 }
@@ -101,6 +115,7 @@ FaultInjector::hitCount(std::string_view point) const
 void
 FaultInjector::resetCounters()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     hits_.clear();
     fired_.clear();
     for (auto &[point, armed] : armed_)

@@ -22,6 +22,7 @@
 #define CGP_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -124,6 +125,13 @@ class FaultInjector
         std::uint32_t firedCount = 0;
     };
 
+    /**
+     * hit()/arm()/counters are serialized so one injector can stay
+     * installed while the experiment engine runs simulations on
+     * worker threads.  fired() still returns a reference: read it
+     * only once the run under test has quiesced.
+     */
+    mutable std::mutex mu_;
     std::unordered_map<std::string, Armed> armed_;
     std::unordered_map<std::string, std::uint64_t> hits_;
     std::vector<FaultEvent> fired_;

@@ -94,4 +94,76 @@ writeComparison(const std::vector<SimResult> &results,
     t.print(os);
 }
 
+Json
+toJson(const PrefetchBreakdown &breakdown)
+{
+    Json j = Json::object();
+    j.set("issued", breakdown.issued);
+    j.set("pref_hits", breakdown.prefHits);
+    j.set("delayed_hits", breakdown.delayedHits);
+    j.set("useless", breakdown.useless);
+    return j;
+}
+
+Json
+toJson(const SimResult &result)
+{
+    Json j = Json::object();
+    j.set("workload", result.workload);
+    j.set("config", result.config);
+    j.set("cycles", result.cycles);
+    j.set("instrs", result.instrs);
+    j.set("icache_accesses", result.icacheAccesses);
+    j.set("icache_misses", result.icacheMisses);
+    j.set("dcache_misses", result.dcacheMisses);
+    j.set("l2_misses", result.l2Misses);
+    j.set("nl", toJson(result.nl));
+    j.set("cghc", toJson(result.cghc));
+    j.set("squashed_prefetches", result.squashedPrefetches);
+    j.set("bus_lines", result.busLines);
+    j.set("branch_mispredicts", result.branchMispredicts);
+    j.set("cghc_accesses", result.cghcAccesses);
+    j.set("cghc_hits", result.cghcHits);
+    j.set("prefetch_degraded", result.prefetchDegraded);
+    j.set("degraded_reason", result.degradedReason);
+    j.set("instrs_per_call", result.instrsPerCall);
+    return j;
+}
+
+PrefetchBreakdown
+prefetchBreakdownFromJson(const Json &json)
+{
+    PrefetchBreakdown p;
+    p.issued = json.at("issued").asUint();
+    p.prefHits = json.at("pref_hits").asUint();
+    p.delayedHits = json.at("delayed_hits").asUint();
+    p.useless = json.at("useless").asUint();
+    return p;
+}
+
+SimResult
+simResultFromJson(const Json &json)
+{
+    SimResult r;
+    r.workload = json.at("workload").asString();
+    r.config = json.at("config").asString();
+    r.cycles = json.at("cycles").asUint();
+    r.instrs = json.at("instrs").asUint();
+    r.icacheAccesses = json.at("icache_accesses").asUint();
+    r.icacheMisses = json.at("icache_misses").asUint();
+    r.dcacheMisses = json.at("dcache_misses").asUint();
+    r.l2Misses = json.at("l2_misses").asUint();
+    r.nl = prefetchBreakdownFromJson(json.at("nl"));
+    r.cghc = prefetchBreakdownFromJson(json.at("cghc"));
+    r.squashedPrefetches = json.at("squashed_prefetches").asUint();
+    r.busLines = json.at("bus_lines").asUint();
+    r.branchMispredicts = json.at("branch_mispredicts").asUint();
+    r.cghcAccesses = json.at("cghc_accesses").asUint();
+    r.cghcHits = json.at("cghc_hits").asUint();
+    r.prefetchDegraded = json.at("prefetch_degraded").asBool();
+    r.degradedReason = json.at("degraded_reason").asString();
+    r.instrsPerCall = json.at("instrs_per_call").asDouble();
+    return r;
+}
+
 } // namespace cgp

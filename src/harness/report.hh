@@ -1,9 +1,11 @@
 /**
  * @file
- * Human-readable reporting of simulation results: a one-screen
- * summary of a SimResult, and side-by-side comparisons of several
+ * Reporting of simulation results: a one-screen human-readable
+ * summary of a SimResult, side-by-side comparisons of several
  * results over the same workload (the building block of the
- * per-figure benches, exposed for downstream users).
+ * per-figure benches, exposed for downstream users), and the
+ * canonical machine-readable JSON form shared by the experiment
+ * engine's run directories and BENCH_*.json artifacts.
  */
 
 #ifndef CGP_HARNESS_REPORT_HH
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "harness/simulator.hh"
+#include "util/json.hh"
 
 namespace cgp
 {
@@ -27,6 +30,15 @@ void writeReport(const SimResult &result, std::ostream &os);
  */
 void writeComparison(const std::vector<SimResult> &results,
                      std::ostream &os);
+
+/// @{ Canonical JSON form of a result.  The mapping is lossless:
+/// simResultFromJson(toJson(r)) == r, and the emitted member order
+/// is fixed so equal results serialize to identical bytes.
+Json toJson(const PrefetchBreakdown &breakdown);
+Json toJson(const SimResult &result);
+PrefetchBreakdown prefetchBreakdownFromJson(const Json &json);
+SimResult simResultFromJson(const Json &json);
+/// @}
 
 } // namespace cgp
 

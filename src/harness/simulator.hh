@@ -35,6 +35,13 @@ struct PrefetchBreakdown
             : static_cast<double>(useful)
                 / static_cast<double>(classified);
     }
+
+    friend bool
+    operator==(const PrefetchBreakdown &a, const PrefetchBreakdown &b)
+    {
+        return a.issued == b.issued && a.prefHits == b.prefHits &&
+            a.delayedHits == b.delayedHits && a.useless == b.useless;
+    }
 };
 
 struct SimResult
@@ -88,6 +95,27 @@ struct SimResult
         t.delayedHits = nl.delayedHits + cghc.delayedHits;
         t.useless = nl.useless + cghc.useless;
         return t;
+    }
+
+    /** Field-wise equality (serialization round-trip checks). */
+    friend bool
+    operator==(const SimResult &a, const SimResult &b)
+    {
+        return a.workload == b.workload && a.config == b.config &&
+            a.cycles == b.cycles && a.instrs == b.instrs &&
+            a.icacheAccesses == b.icacheAccesses &&
+            a.icacheMisses == b.icacheMisses &&
+            a.dcacheMisses == b.dcacheMisses &&
+            a.l2Misses == b.l2Misses && a.nl == b.nl &&
+            a.cghc == b.cghc &&
+            a.squashedPrefetches == b.squashedPrefetches &&
+            a.busLines == b.busLines &&
+            a.branchMispredicts == b.branchMispredicts &&
+            a.cghcAccesses == b.cghcAccesses &&
+            a.cghcHits == b.cghcHits &&
+            a.prefetchDegraded == b.prefetchDegraded &&
+            a.degradedReason == b.degradedReason &&
+            a.instrsPerCall == b.instrsPerCall;
     }
 };
 

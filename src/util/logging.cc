@@ -1,6 +1,7 @@
 #include "util/logging.hh"
 
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace cgp
@@ -54,6 +55,18 @@ ring()
     return r;
 }
 
+/**
+ * Guards the ring and the print path.  The experiment engine logs
+ * per-job progress from worker threads; the lock keeps ring updates
+ * race-free and whole messages unsplit on the output streams.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // anonymous namespace
 
 const char *
@@ -87,6 +100,7 @@ logLevel()
 void
 setLogRingCapacity(std::size_t capacity)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     LogRing &r = ring();
     r.capacity = capacity == 0 ? 1 : capacity;
     r.slots.clear();
@@ -96,12 +110,14 @@ setLogRingCapacity(std::size_t capacity)
 std::vector<LogEvent>
 recentEvents()
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     return ring().snapshot();
 }
 
 void
 clearRecentEvents()
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     LogRing &r = ring();
     r.slots.clear();
     r.head = 0;
@@ -110,6 +126,7 @@ clearRecentEvents()
 void
 dumpRecentEvents(std::FILE *out)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     for (const LogEvent &ev : ring().snapshot())
         std::fprintf(out, "[%llu] %s: %s\n",
                      static_cast<unsigned long long>(ev.seq),
@@ -139,7 +156,10 @@ setThrowOnError(bool enable)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    ring().record(LogLevel::Error, "panic: " + msg);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        ring().record(LogLevel::Error, "panic: " + msg);
+    }
     if (throwOnError)
         throw std::logic_error("panic: " + msg);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
@@ -149,7 +169,10 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    ring().record(LogLevel::Error, "fatal: " + msg);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        ring().record(LogLevel::Error, "fatal: " + msg);
+    }
     if (throwOnError)
         throw std::runtime_error("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
@@ -159,6 +182,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 logImpl(LogLevel level, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     ring().record(level, msg);
     if (level < printThreshold)
         return;

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Tests for the experiment-campaign subsystem: spec expansion, the
+ * work-stealing scheduler, engine determinism across thread counts
+ * (byte-identical run directories), and fault-injected kill/resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/campaign.hh"
+#include "exp/campaigns.hh"
+#include "exp/engine.hh"
+#include "exp/rundir.hh"
+#include "exp/scheduler.hh"
+#include "fault/fault.hh"
+#include "harness/workload.hh"
+
+namespace cgp::exp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+AxisPoint
+depthPoint(const std::string &label, unsigned depth)
+{
+    return AxisPoint{label,
+                     [depth](SimConfig &c) { c.depth = depth; }};
+}
+
+CampaignSpec
+twoAxisSpec(SweepMode mode)
+{
+    CampaignSpec s;
+    s.name = "t";
+    s.workloads = {"w1", "w2"};
+    s.base = SimConfig::withCgp(LayoutKind::PettisHansen, 1);
+    ConfigAxis depth{"depth", {depthPoint("D2", 2),
+                               depthPoint("D4", 4)}};
+    ConfigAxis layout{
+        "layout",
+        {{"OM", [](SimConfig &c) {
+              c.layout = LayoutKind::PettisHansen;
+          }},
+         {"O5", [](SimConfig &c) {
+              c.layout = LayoutKind::Original;
+          }}}};
+    s.axes = {depth, layout};
+    s.mode = mode;
+    return s;
+}
+
+TEST(Campaign, CartesianExpansionFirstAxisSlowest)
+{
+    const auto configs = expandConfigs(twoAxisSpec(
+        SweepMode::Cartesian));
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0].label, "D2+OM");
+    EXPECT_EQ(configs[1].label, "D2+O5");
+    EXPECT_EQ(configs[2].label, "D4+OM");
+    EXPECT_EQ(configs[3].label, "D4+O5");
+    EXPECT_EQ(configs[0].config.depth, 2u);
+    EXPECT_EQ(configs[3].config.depth, 4u);
+    EXPECT_EQ(configs[3].config.layout, LayoutKind::Original);
+}
+
+TEST(Campaign, ZipExpansionIsElementWise)
+{
+    const auto configs = expandConfigs(twoAxisSpec(SweepMode::Zip));
+    ASSERT_EQ(configs.size(), 2u);
+    EXPECT_EQ(configs[0].label, "D2+OM");
+    EXPECT_EQ(configs[1].label, "D4+O5");
+}
+
+TEST(Campaign, ZipRejectsUnequalAxes)
+{
+    CampaignSpec s = twoAxisSpec(SweepMode::Zip);
+    s.axes[1].points.pop_back();
+    EXPECT_THROW(expandConfigs(s), std::invalid_argument);
+}
+
+TEST(Campaign, EmptySpecRejected)
+{
+    CampaignSpec s;
+    s.name = "empty";
+    s.workloads = {"w"};
+    EXPECT_THROW(expandConfigs(s), std::invalid_argument);
+}
+
+TEST(Campaign, ExplicitConfigLabelsFallBackToDescribe)
+{
+    CampaignSpec s;
+    s.name = "t";
+    s.workloads = {"w"};
+    s.explicitConfigs = {SimConfig::o5(), SimConfig::o5Om()};
+    const auto configs = expandConfigs(s);
+    ASSERT_EQ(configs.size(), 2u);
+    EXPECT_EQ(configs[0].label, "O5");
+    EXPECT_EQ(configs[1].label, "O5+OM");
+
+    s.explicitLabels = {"first", "second"};
+    const auto named = expandConfigs(s);
+    EXPECT_EQ(named[0].label, "first");
+    EXPECT_EQ(named[1].label, "second");
+}
+
+TEST(Campaign, JobsAreWorkloadMajorWithDerivedSeeds)
+{
+    CampaignSpec s = twoAxisSpec(SweepMode::Zip);
+    s.seed = 42;
+    const auto jobs = expandJobs(s);
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].workload, "w1");
+    EXPECT_EQ(jobs[1].workload, "w1");
+    EXPECT_EQ(jobs[2].workload, "w2");
+    EXPECT_EQ(jobs[0].label, "D2+OM");
+    EXPECT_EQ(jobs[1].label, "D4+O5");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].seed, jobSeed(42, i));
+    }
+    EXPECT_EQ(jobs[0].key(), "w1|D2+OM");
+
+    // Seeds are distinct and reproducible.
+    std::set<std::uint64_t> seeds;
+    for (const auto &j : jobs)
+        seeds.insert(j.seed);
+    EXPECT_EQ(seeds.size(), jobs.size());
+    EXPECT_EQ(expandJobs(s)[3].seed, jobs[3].seed);
+}
+
+TEST(Campaign, FingerprintPinsJobIdentity)
+{
+    CampaignSpec s = twoAxisSpec(SweepMode::Cartesian);
+    const std::string fp = fingerprint(s, expandJobs(s));
+    EXPECT_EQ(fp.size(), 16u);
+    EXPECT_EQ(fp, fingerprint(s, expandJobs(s)));
+
+    CampaignSpec seeded = s;
+    seeded.seed = 1;
+    EXPECT_NE(fp, fingerprint(seeded, expandJobs(seeded)));
+
+    CampaignSpec fewer = s;
+    fewer.workloads.pop_back();
+    EXPECT_NE(fp, fingerprint(fewer, expandJobs(fewer)));
+}
+
+TEST(Campaign, PaperRegistryExpands)
+{
+    for (const std::string &name : campaignNames()) {
+        const CampaignSpec spec = paperCampaign(name);
+        EXPECT_FALSE(expandJobs(spec).empty()) << name;
+    }
+    EXPECT_THROW(paperCampaign("nonsense"), std::invalid_argument);
+    EXPECT_EQ(campaignGroup("figures").size(), 7u);
+    EXPECT_EQ(campaignGroup("fig4").size(), 1u);
+}
+
+TEST(Scheduler, RunsEveryJobExactlyOnce)
+{
+    constexpr std::size_t n = 200;
+    std::vector<std::atomic<int>> hits(n);
+    const ScheduleStats stats =
+        runJobs(n, 8, [&hits](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+    EXPECT_GE(stats.threads, 1u);
+}
+
+TEST(Scheduler, InlineWhenSingleThreaded)
+{
+    std::vector<std::size_t> order;
+    const ScheduleStats stats =
+        runJobs(5, 1, [&order](std::size_t i) {
+            order.push_back(i);
+        });
+    EXPECT_EQ(stats.threads, 1u);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, PropagatesFirstException)
+{
+    EXPECT_THROW(runJobs(50, 4,
+                         [](std::size_t i) {
+                             if (i == 17)
+                                 throw std::runtime_error("boom");
+                         }),
+                 std::runtime_error);
+}
+
+TEST(Scheduler, ZeroJobsIsANoOp)
+{
+    const ScheduleStats stats =
+        runJobs(0, 4, [](std::size_t) { FAIL(); });
+    EXPECT_EQ(stats.steals, 0u);
+}
+
+/**
+ * Engine tests run a real 2x2 campaign on tiny SPEC proxies.  The
+ * workloads are built once and shared; runSimulation only reads
+ * them.
+ */
+class EngineTest : public ::testing::Test
+{
+  protected:
+    static CampaignSpec
+    spec()
+    {
+        CampaignSpec s;
+        s.name = "unit";
+        s.title = "engine unit campaign";
+        s.workloads = {"tiny-a", "tiny-b"};
+        s.explicitConfigs = {
+            SimConfig::o5Om(),
+            SimConfig::withCgp(LayoutKind::PettisHansen, 4)};
+        return s;
+    }
+
+    static InMemoryProvider &
+    provider()
+    {
+        static InMemoryProvider p = [] {
+            auto make = [](const char *name, unsigned funcs) {
+                spec::SpecProgramSpec s;
+                s.name = name;
+                s.functions = funcs;
+                s.hotFunctions = funcs / 2;
+                s.workPerCall = 50.0;
+                s.trainInstrs = 60'000;
+                s.testInstrs = 15'000;
+                return WorkloadFactory::buildSpec(s);
+            };
+            return InMemoryProvider(
+                {make("tiny-a", 40), make("tiny-b", 60)});
+        }();
+        return p;
+    }
+
+    static std::string
+    freshDir(const std::string &tag)
+    {
+        const fs::path dir =
+            fs::temp_directory_path() / ("cgp-exp-test-" + tag);
+        fs::remove_all(dir);
+        return dir.string();
+    }
+
+    static std::string
+    slurp(const fs::path &p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    }
+};
+
+TEST_F(EngineTest, RunsAllJobsAndIndexesResults)
+{
+    EngineOptions opt;
+    opt.threads = 2;
+    opt.verbose = false;
+    const CampaignRun run = runCampaign(spec(), provider(), opt);
+
+    ASSERT_EQ(run.jobs.size(), 4u);
+    ASSERT_EQ(run.results.size(), 4u);
+    EXPECT_EQ(run.executed, 4u);
+    EXPECT_EQ(run.skipped, 0u);
+    EXPECT_EQ(run.workloadNames(),
+              (std::vector<std::string>{"tiny-a", "tiny-b"}));
+    EXPECT_EQ(run.configLabels(),
+              (std::vector<std::string>{"O5+OM", "O5+OM+CGP_4"}));
+    for (const JobSpec &j : run.jobs) {
+        const SimResult &r = run.results[j.index];
+        EXPECT_EQ(r.workload, j.workload);
+        EXPECT_EQ(r.config, j.label);
+        EXPECT_GT(r.cycles, 0u);
+    }
+    EXPECT_EQ(&run.at("tiny-a", "O5+OM"), run.find("tiny-a", "O5+OM"));
+    EXPECT_EQ(run.find("tiny-a", "nope"), nullptr);
+    EXPECT_THROW(run.at("tiny-a", "nope"), std::out_of_range);
+}
+
+TEST_F(EngineTest, RunDirIsByteIdenticalAcrossThreadCounts)
+{
+    std::vector<std::string> dirs;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        EngineOptions opt;
+        opt.threads = threads;
+        opt.verbose = false;
+        opt.runDir =
+            freshDir("det-" + std::to_string(threads));
+        runCampaign(spec(), provider(), opt);
+        dirs.push_back(opt.runDir);
+    }
+
+    const std::string manifest =
+        slurp(fs::path(dirs[0]) / "manifest.json");
+    EXPECT_FALSE(manifest.empty());
+    // No execution-environment data may leak into the run dir.
+    EXPECT_EQ(manifest.find("threads"), std::string::npos);
+    EXPECT_EQ(manifest.find("wall"), std::string::npos);
+
+    for (std::size_t d = 1; d < dirs.size(); ++d) {
+        EXPECT_EQ(manifest,
+                  slurp(fs::path(dirs[d]) / "manifest.json"));
+        for (std::size_t i = 0; i < 4; ++i) {
+            const std::string file = RunDir::jobFileName(i);
+            EXPECT_EQ(slurp(fs::path(dirs[0]) / file),
+                      slurp(fs::path(dirs[d]) / file))
+                << file << " differs at threads variant " << d;
+        }
+    }
+    for (const auto &d : dirs)
+        fs::remove_all(d);
+}
+
+TEST_F(EngineTest, KilledRunResumesWithoutRerunningCompletedJobs)
+{
+    // Reference: a clean run, no run directory.
+    EngineOptions ref_opt;
+    ref_opt.threads = 1;
+    ref_opt.verbose = false;
+    const CampaignRun ref = runCampaign(spec(), provider(), ref_opt);
+
+    const std::string dir = freshDir("resume");
+
+    // Phase 1: single-threaded so completion order is the job order,
+    // killed by an injected crash right after the second job becomes
+    // durable ("exp.record" sits past the job file + manifest write).
+    fault::FaultInjector inj;
+    inj.arm("exp.record", {fault::FaultKind::Crash, 1, 1});
+    {
+        fault::ScopedGlobalInjector scoped(inj);
+        EngineOptions opt;
+        opt.threads = 1;
+        opt.verbose = false;
+        opt.runDir = dir;
+        EXPECT_THROW(runCampaign(spec(), provider(), opt),
+                     fault::CrashInjected);
+    }
+    ASSERT_EQ(inj.fired().size(), 1u);
+    EXPECT_EQ(inj.fired()[0].point, "exp.record");
+
+    // Phase 2: resume (multi-threaded) — the two durable jobs are
+    // loaded, only the two lost ones are simulated.
+    EngineOptions opt;
+    opt.threads = 2;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(resumed.skipped, 2u);
+    EXPECT_EQ(resumed.executed, 2u);
+
+    ASSERT_EQ(resumed.results.size(), ref.results.size());
+    for (std::size_t i = 0; i < ref.results.size(); ++i)
+        EXPECT_EQ(resumed.results[i], ref.results[i]) << "job " << i;
+
+    // A second resume has nothing left to do.
+    const CampaignRun again = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(again.skipped, 4u);
+    EXPECT_EQ(again.executed, 0u);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, CrashBeforeRecordLosesOnlyThatJob)
+{
+    const std::string dir = freshDir("prerecord");
+    fault::FaultInjector inj;
+    inj.arm("exp.pre_record", {fault::FaultKind::Crash, 0, 1});
+    {
+        fault::ScopedGlobalInjector scoped(inj);
+        EngineOptions opt;
+        opt.threads = 1;
+        opt.verbose = false;
+        opt.runDir = dir;
+        EXPECT_THROW(runCampaign(spec(), provider(), opt),
+                     fault::CrashInjected);
+    }
+    // The crash fired before anything was written: full re-run.
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(resumed.skipped, 0u);
+    EXPECT_EQ(resumed.executed, 4u);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, RunDirRejectsDifferentCampaign)
+{
+    const std::string dir = freshDir("mismatch");
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    runCampaign(spec(), provider(), opt);
+
+    CampaignSpec other = spec();
+    other.seed = 99; // different fingerprint
+    EXPECT_THROW(runCampaign(other, provider(), opt),
+                 std::runtime_error);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, LoadRunDirReportsCompletion)
+{
+    const std::string dir = freshDir("load");
+    EngineOptions opt;
+    opt.threads = 2;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun run = runCampaign(spec(), provider(), opt);
+
+    const LoadedRun loaded = loadRunDir(dir);
+    EXPECT_EQ(loaded.campaign, "unit");
+    EXPECT_EQ(loaded.fingerprint, run.fingerprint);
+    ASSERT_EQ(loaded.jobs.size(), 4u);
+    ASSERT_EQ(loaded.results.size(), 4u);
+    for (const auto &[index, result] : loaded.results)
+        EXPECT_EQ(result, run.results[index]);
+
+    EXPECT_THROW(loadRunDir(dir + "-nonexistent"),
+                 std::runtime_error);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, UnknownWorkloadNameThrows)
+{
+    CampaignSpec s = spec();
+    s.workloads.push_back("missing");
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    EXPECT_THROW(runCampaign(s, provider(), opt),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cgp::exp

@@ -61,6 +61,43 @@ TEST(Report, ComparisonNormalizesToFirst)
     EXPECT_NE(out.find("0.500"), std::string::npos);
 }
 
+TEST(Report, SimResultJsonRoundTrip)
+{
+    SimResult r = sample("O5+OM+CGP_4", 2000);
+    r.dcacheMisses = 11;
+    r.l2Misses = 7;
+    r.squashedPrefetches = 3;
+    r.branchMispredicts = 21;
+    r.prefetchDegraded = true;
+    r.degradedReason = "cghc pressure";
+    r.instrsPerCall = 43.25;
+
+    const Json j = toJson(r);
+    const SimResult back = simResultFromJson(j);
+    EXPECT_EQ(back, r);
+
+    // Through text too: serialize, parse, reconstruct.
+    const SimResult back2 =
+        simResultFromJson(Json::parse(j.dump(2)));
+    EXPECT_EQ(back2, r);
+}
+
+TEST(Report, SimResultJsonCarriesBothPrefetchSources)
+{
+    const Json j = toJson(sample("X", 10));
+    EXPECT_EQ(j.at("nl").at("issued").asUint(), 90u);
+    EXPECT_EQ(j.at("cghc").at("pref_hits").asUint(), 8u);
+    EXPECT_EQ(j.at("workload").asString(), "w");
+}
+
+TEST(Report, SimResultFromJsonRejectsMissingFields)
+{
+    Json j = toJson(sample("X", 10));
+    Json stripped = Json::object();
+    stripped.set("workload", j.at("workload"));
+    EXPECT_THROW(simResultFromJson(stripped), std::runtime_error);
+}
+
 TEST(Report, ComparisonRejectsMixedWorkloads)
 {
     detail::setThrowOnError(true);
