@@ -10,6 +10,12 @@
  * against NL and full CGP on a database workload.  The gap between
  * call-target prefetching and CGP isolates the value of the CGHC's
  * one-call-ahead lookahead.
+ *
+ * The data side has the same extension point: implement
+ * cgp::DataPrefetcher (src/dprefetch/dprefetcher.hh) and pass it as
+ * the Core's fifth constructor argument to plug a custom D-side
+ * engine into the L1-D access/miss/hint streams — see the stride,
+ * correlation and semantic engines in src/dprefetch for examples.
  */
 
 #include <iostream>

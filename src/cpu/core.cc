@@ -8,9 +8,11 @@ namespace cgp
 {
 
 Core::Core(InstructionExpander &stream, MemoryHierarchy &mem,
-           InstrPrefetcher *prefetcher, const CoreConfig &config)
+           InstrPrefetcher *prefetcher, const CoreConfig &config,
+           DataPrefetcher *dprefetcher)
     : stream_(stream), mem_(mem), prefetcher_(prefetcher),
-      config_(config), branch_(config.branch), stats_("core")
+      dprefetcher_(dprefetcher), config_(config),
+      branch_(config.branch), stats_("core")
 {
     stats_.addCounter("committed_instrs", &committed_,
                       "instructions committed");
@@ -140,18 +142,37 @@ Core::doIssue()
                 continue;
             --ports;
             const auto res = mem_.l1d().access(
-                e.inst.memAddr, now_, AccessSource::DemandData,
+                e.inst.memAddr, now_, AccessSource::DemandLoad,
                 false);
             done = res.readyCycle;
+            if (dprefetcher_ != nullptr) {
+                const bool miss = !res.hit && !res.delayedHit;
+                dprefetcher_->onAccess(e.inst.pc, e.inst.memAddr,
+                                       false, miss, now_);
+                if (miss) {
+                    dprefetcher_->onMiss(e.inst.pc, e.inst.memAddr,
+                                         now_);
+                }
+            }
             break;
           }
           case InstKind::Store: {
             if (ports == 0)
                 continue;
             --ports;
-            mem_.l1d().access(e.inst.memAddr, now_,
-                              AccessSource::DemandData, true);
+            const auto res = mem_.l1d().access(
+                e.inst.memAddr, now_, AccessSource::DemandStore,
+                true);
             done = now_ + 1; // retires via the store buffer
+            if (dprefetcher_ != nullptr) {
+                const bool miss = !res.hit && !res.delayedHit;
+                dprefetcher_->onAccess(e.inst.pc, e.inst.memAddr,
+                                       true, miss, now_);
+                if (miss) {
+                    dprefetcher_->onMiss(e.inst.pc, e.inst.memAddr,
+                                         now_);
+                }
+            }
             break;
           }
         }
@@ -285,6 +306,16 @@ Core::doFetch()
         }
 
         consume();
+
+        // Semantic hints ride the instruction stream and are
+        // dispatched at fetch — well before the consuming load
+        // issues, giving the prefetch its lead time.
+        if (dprefetcher_ != nullptr && inst.hintAddr != invalidAddr) {
+            dprefetcher_->onHint(
+                static_cast<DataHintKind>(inst.hintKind),
+                inst.hintAddr, now_);
+        }
+
         FetchEntry fe;
         fe.inst = inst;
         fe.seq = ++seqGen_;

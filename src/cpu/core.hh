@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "branch/predictor.hh"
+#include "dprefetch/dprefetcher.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
 #include "trace/dyninst.hh"
@@ -73,9 +74,13 @@ class Core
      * @param stream Instruction source (already bound to a layout).
      * @param mem The Table 1 memory hierarchy.
      * @param prefetcher Active instruction prefetcher (may be null).
+     * @param dprefetcher Active data prefetcher (may be null): fed
+     *        demand accesses/misses from the load/store issue path
+     *        and semantic hints carried by the instruction stream.
      */
     Core(InstructionExpander &stream, MemoryHierarchy &mem,
-         InstrPrefetcher *prefetcher, const CoreConfig &config);
+         InstrPrefetcher *prefetcher, const CoreConfig &config,
+         DataPrefetcher *dprefetcher = nullptr);
 
     /** Run the trace to completion (or maxInstrs). */
     void run();
@@ -127,6 +132,7 @@ class Core
     InstructionExpander &stream_;
     MemoryHierarchy &mem_;
     InstrPrefetcher *prefetcher_;
+    DataPrefetcher *dprefetcher_;
     CoreConfig config_;
     BranchUnit branch_;
 

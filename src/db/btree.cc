@@ -142,6 +142,11 @@ BTree::descendToLeaf(TxnId txn, std::int32_t key,
         }
         const PageId child =
             pos == 0 ? node.link() : node.child(pos - 1);
+        // The descent knows its next node here, a full level of
+        // latch/lock/fix work before searching it: announce the key
+        // area so a semantic prefetcher can cover it.
+        ds.hint(DataHintKind::BtreeChild,
+                pool_.frameAddrIfResident(child, keysOffset));
         if (path != nullptr)
             path->push_back(pid);
         pool_.unfix(pid, false);
@@ -445,6 +450,15 @@ BTree::RangeScan::next(std::int32_t &key, Rid &rid)
             }
             ts.loadAt(tree_.pool_.frameAddr(
                 leaf_, keysOffset + 4u * pos_));
+            // Nearing the end of this leaf: announce the chain
+            // successor (duplicates are filtered by the semantic
+            // prefetcher's recent-hint dedup).
+            if (pos_ + 4 >= node.count() &&
+                node.link() != invalidPageId) {
+                ts.hint(DataHintKind::BtreeNextLeaf,
+                        tree_.pool_.frameAddrIfResident(node.link(),
+                                                        keysOffset));
+            }
             key = k;
             rid = node.rid(pos_);
             ++pos_;

@@ -69,6 +69,17 @@ BufferPool::frameAddr(PageId pid, std::uint32_t offset) const
         static_cast<Addr>(it->second) * pageBytes + offset;
 }
 
+Addr
+BufferPool::frameAddrIfResident(PageId pid,
+                                std::uint32_t offset) const
+{
+    auto it = map_.find(pid);
+    if (it == map_.end())
+        return invalidAddr;
+    return segmentBase_ +
+        static_cast<Addr>(it->second) * pageBytes + offset;
+}
+
 std::size_t
 BufferPool::lookup(PageId pid)
 {

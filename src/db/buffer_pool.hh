@@ -70,6 +70,13 @@ class BufferPool
      *  (only valid while fixed); used for trace load/store events. */
     Addr frameAddr(PageId pid, std::uint32_t offset) const;
 
+    /**
+     * frameAddr() for hint paths: returns invalidAddr instead of
+     * asserting when @p pid is not resident (a prefetch hint for a
+     * page still on disk is simply dropped by the recorder).
+     */
+    Addr frameAddrIfResident(PageId pid, std::uint32_t offset) const;
+
     /// @{ Occupancy introspection (for tests).
     std::size_t residentPages() const { return map_.size(); }
     std::size_t capacity() const { return frames_.size(); }

@@ -96,6 +96,14 @@ HeapFile::getRec(TxnId txn, Rid rid)
         hs.work(5);
     }
 
+    // The RID names the record before any lock/fix work happens:
+    // announce its (approximate) location so a semantic prefetcher
+    // can cover it during the lock acquisition path.
+    ts.hint(DataHintKind::HeapRecord,
+            pool_.frameAddrIfResident(
+                rid.page,
+                64u + rid.slot * schema_->recordBytes()));
+
     locks_.acquire(txn, rid.page, LockMode::Shared);
     std::uint8_t *frame = pool_.fix(rid.page);
 
@@ -232,9 +240,24 @@ HeapFile::Scan::next(Tuple &out, Rid *rid)
                 sl.work(10);
                 bytes = page.read(slot_, &len);
             }
-            rs.loadAt(file_.pool_.frameAddr(
-                file_.pages_[pageIdx_],
-                static_cast<std::uint32_t>(bytes - frame_)));
+            const auto rec_off =
+                static_cast<std::uint32_t>(bytes - frame_);
+            rs.loadAt(file_.pool_.frameAddr(file_.pages_[pageIdx_],
+                                            rec_off));
+            // Sequential cursor: the next call reads the next slot
+            // of this page — or the head of the next page when this
+            // one is nearly done.
+            if (rec_off + len < pageBytes) {
+                rs.hint(DataHintKind::HeapNextSlot,
+                        file_.pool_.frameAddrIfResident(
+                            file_.pages_[pageIdx_], rec_off + len));
+            }
+            if (slot_ + 4 >= page.slotCount() &&
+                pageIdx_ + 1 < file_.pages_.size()) {
+                rs.hint(DataHintKind::HeapNextPage,
+                        file_.pool_.frameAddrIfResident(
+                            file_.pages_[pageIdx_ + 1], 64u));
+            }
             {
                 TraceScope rc(file_.ctx_.rec,
                               file_.ctx_.fn.pageRecordCopyC[

@@ -1,0 +1,141 @@
+#include "dprefetch/correlation.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+CorrelationDataPrefetcher::CorrelationDataPrefetcher(
+    Cache &l1d, const CorrelationConfig &config)
+    : l1d_(l1d), config_(config),
+      sets_(config.entries / config.assoc),
+      table_(static_cast<std::size_t>(sets_) * config.assoc)
+{
+    cgp_assert(config_.assoc > 0 && config_.entries >= config_.assoc,
+               "correlation table smaller than one set");
+    cgp_assert(config_.entries % config_.assoc == 0,
+               "correlation entries not divisible into sets");
+    cgp_assert(isPowerOfTwo(sets_),
+               "correlation set count must be a power of two");
+    cgp_assert(config_.successors > 0, "need at least one successor");
+    cgp_assert(config_.depth > 0, "depth must be at least 1");
+}
+
+std::size_t
+CorrelationDataPrefetcher::setBase(Addr line) const
+{
+    const std::uint64_t h =
+        (line / l1d_.lineBytes()) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>((h >> 17) & (sets_ - 1)) *
+        config_.assoc;
+}
+
+CorrelationDataPrefetcher::Entry *
+CorrelationDataPrefetcher::find(Addr line)
+{
+    const std::size_t base = setBase(line);
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Entry &e = table_[base + w];
+        if (e.valid && e.tag == line)
+            return &e;
+    }
+    return nullptr;
+}
+
+const CorrelationDataPrefetcher::Entry *
+CorrelationDataPrefetcher::find(Addr line) const
+{
+    return const_cast<CorrelationDataPrefetcher *>(this)->find(line);
+}
+
+CorrelationDataPrefetcher::Entry &
+CorrelationDataPrefetcher::findOrAlloc(Addr line)
+{
+    if (Entry *e = find(line); e != nullptr) {
+        e->lru = ++tick_;
+        return *e;
+    }
+    const std::size_t base = setBase(line);
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Entry &e = table_[base + w];
+        if (!e.valid) {
+            victim = base + w;
+            break;
+        }
+        if (e.lru < table_[victim].lru)
+            victim = base + w;
+    }
+    Entry &v = table_[victim];
+    if (v.valid)
+        ++evictions_;
+    v.valid = true;
+    v.tag = line;
+    v.succ.clear();
+    v.lru = ++tick_;
+    return v;
+}
+
+void
+CorrelationDataPrefetcher::record(Addr prev_line, Addr line)
+{
+    Entry &e = findOrAlloc(prev_line);
+    auto it = std::find(e.succ.begin(), e.succ.end(), line);
+    if (it != e.succ.end())
+        e.succ.erase(it);
+    e.succ.insert(e.succ.begin(), line);
+    if (e.succ.size() > config_.successors)
+        e.succ.resize(config_.successors);
+}
+
+void
+CorrelationDataPrefetcher::onMiss(Addr pc, Addr addr, Cycle now)
+{
+    (void)pc;
+    const Addr line = l1d_.lineAlign(addr);
+
+    if (lastMissLine_ != invalidAddr && lastMissLine_ != line)
+        record(lastMissLine_, line);
+    lastMissLine_ = line;
+
+    // Prefetch recorded successors, chaining through the most-recent
+    // successor for deeper lookahead.
+    Addr key = line;
+    for (unsigned d = 0; d < config_.depth; ++d) {
+        const Entry *e = find(key);
+        if (e == nullptr || e->succ.empty())
+            break;
+        const unsigned n = std::min<unsigned>(
+            config_.degree,
+            static_cast<unsigned>(e->succ.size()));
+        for (unsigned i = 0; i < n; ++i) {
+            ++requested_;
+            l1d_.prefetch(e->succ[i], now,
+                          AccessSource::DataPrefetch);
+        }
+        key = e->succ.front();
+        if (key == line)
+            break;
+    }
+}
+
+std::size_t
+CorrelationDataPrefetcher::entryCount() const
+{
+    std::size_t n = 0;
+    for (const Entry &e : table_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+std::vector<Addr>
+CorrelationDataPrefetcher::successorsOf(Addr line) const
+{
+    const Entry *e = find(line);
+    return e == nullptr ? std::vector<Addr>{} : e->succ;
+}
+
+} // namespace cgp

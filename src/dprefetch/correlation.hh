@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Markov / access-to-miss correlation data prefetcher (AMC-style).
+ *
+ * A bounded, set-associative table maps a miss line to the lines
+ * that missed right after it, in MRU order.  On a demand miss the
+ * table records the (previous miss -> this miss) transition, then
+ * prefetches up to `degree` recorded successors of the current miss;
+ * with `depth` > 1 the lookup chains through the most-recent
+ * successor to run further ahead of the miss stream.  Pointer-chasing
+ * access patterns — the premise the paper applies to instruction
+ * fetch — repeat their miss sequences, which is exactly what this
+ * table captures on the data side.
+ */
+
+#ifndef CGP_DPREFETCH_CORRELATION_HH
+#define CGP_DPREFETCH_CORRELATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dprefetch/dprefetcher.hh"
+
+namespace cgp
+{
+
+struct CorrelationConfig
+{
+    /** Total table entries (trigger lines tracked). */
+    unsigned entries = 1024;
+
+    /** Set associativity of the table. */
+    unsigned assoc = 4;
+
+    /** Successor lines remembered per trigger (MRU order). */
+    unsigned successors = 4;
+
+    /** Successors prefetched per lookup. */
+    unsigned degree = 2;
+
+    /** Chained lookups per miss (1 = direct successors only). */
+    unsigned depth = 1;
+};
+
+class CorrelationDataPrefetcher : public DataPrefetcher
+{
+  public:
+    CorrelationDataPrefetcher(Cache &l1d,
+                              const CorrelationConfig &config = {});
+
+    void onMiss(Addr pc, Addr addr, Cycle now) override;
+
+    const char *name() const override { return "corr"; }
+
+    /// @{ Introspection for tests.
+    std::size_t entryCount() const;
+    /** Recorded successors of @p line (MRU first); empty if absent. */
+    std::vector<Addr> successorsOf(Addr line) const;
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t prefetchesRequested() const { return requested_; }
+    /// @}
+
+  private:
+    struct Entry
+    {
+        Addr tag = invalidAddr;
+        std::vector<Addr> succ; ///< MRU-ordered successor lines
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::size_t setBase(Addr line) const;
+    Entry *find(Addr line);
+    const Entry *find(Addr line) const;
+    Entry &findOrAlloc(Addr line);
+    void record(Addr prev_line, Addr line);
+
+    Cache &l1d_;
+    CorrelationConfig config_;
+    std::uint32_t sets_;
+    std::vector<Entry> table_;
+    Addr lastMissLine_ = invalidAddr;
+    std::uint64_t tick_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t requested_ = 0;
+};
+
+} // namespace cgp
+
+#endif // CGP_DPREFETCH_CORRELATION_HH

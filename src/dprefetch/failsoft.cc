@@ -1,0 +1,70 @@
+#include "dprefetch/failsoft.hh"
+
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+FailSoftDataPrefetcher::FailSoftDataPrefetcher(
+    std::unique_ptr<DataPrefetcher> inner)
+    : inner_(std::move(inner))
+{
+    cgp_assert(inner_ != nullptr,
+               "FailSoftDataPrefetcher needs an inner prefetcher");
+}
+
+void
+FailSoftDataPrefetcher::disable(const char *hook,
+                                const std::string &why)
+{
+    degraded_ = true;
+    reason_ = why;
+    cgp_error("data prefetcher '", inner_->name(), "' faulted in ",
+              hook, " (", why, "); continuing without data prefetch");
+}
+
+void
+FailSoftDataPrefetcher::onAccess(Addr pc, Addr addr, bool is_write,
+                                 bool miss, Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onAccess(pc, addr, is_write, miss, now);
+    } catch (const std::exception &e) {
+        disable("onAccess", e.what());
+    }
+}
+
+void
+FailSoftDataPrefetcher::onMiss(Addr pc, Addr addr, Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onMiss(pc, addr, now);
+    } catch (const std::exception &e) {
+        disable("onMiss", e.what());
+    }
+}
+
+void
+FailSoftDataPrefetcher::onHint(DataHintKind kind, Addr addr,
+                               Cycle now)
+{
+    if (degraded_)
+        return;
+    try {
+        inner_->onHint(kind, addr, now);
+    } catch (const std::exception &e) {
+        disable("onHint", e.what());
+    }
+}
+
+const char *
+FailSoftDataPrefetcher::name() const
+{
+    return degraded_ ? "none (degraded)" : inner_->name();
+}
+
+} // namespace cgp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fail-soft data-prefetcher decorator — the D-side twin of
+ * FailSoftPrefetcher.  Data prefetching is an optimisation, so a
+ * fault inside a prefetcher must never take down the simulated
+ * machine: on the first exception from any hook the wrapper logs an
+ * error event, permanently disables the inner prefetcher, and the
+ * run continues without data prefetching (graceful degradation).
+ */
+
+#ifndef CGP_DPREFETCH_FAILSOFT_HH
+#define CGP_DPREFETCH_FAILSOFT_HH
+
+#include <memory>
+#include <string>
+
+#include "dprefetch/dprefetcher.hh"
+
+namespace cgp
+{
+
+class FailSoftDataPrefetcher : public DataPrefetcher
+{
+  public:
+    explicit FailSoftDataPrefetcher(
+        std::unique_ptr<DataPrefetcher> inner);
+
+    void onAccess(Addr pc, Addr addr, bool is_write, bool miss,
+                  Cycle now) override;
+    void onMiss(Addr pc, Addr addr, Cycle now) override;
+    void onHint(DataHintKind kind, Addr addr, Cycle now) override;
+
+    const char *name() const override;
+
+    /** True once the inner prefetcher has been disabled. */
+    bool degraded() const { return degraded_; }
+
+    /** What disabled it (empty while healthy). */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    void disable(const char *hook, const std::string &why);
+
+    std::unique_ptr<DataPrefetcher> inner_;
+    bool degraded_ = false;
+    std::string reason_;
+};
+
+} // namespace cgp
+
+#endif // CGP_DPREFETCH_FAILSOFT_HH

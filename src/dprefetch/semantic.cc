@@ -1,0 +1,55 @@
+#include "dprefetch/semantic.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+SemanticDataPrefetcher::SemanticDataPrefetcher(
+    Cache &l1d, const SemanticConfig &config)
+    : l1d_(l1d), config_(config),
+      recent_(config.dedupEntries, invalidAddr)
+{
+    cgp_assert(config_.lines > 0 && config_.btreeLines > 0,
+               "semantic prefetcher must cover at least one line");
+    cgp_assert(config_.dedupEntries > 0 &&
+                   isPowerOfTwo(config_.dedupEntries),
+               "dedup filter size must be a power of two");
+}
+
+bool
+SemanticDataPrefetcher::recentlyHinted(Addr line)
+{
+    const std::size_t idx = static_cast<std::size_t>(
+        (line / l1d_.lineBytes()) & (config_.dedupEntries - 1));
+    if (recent_[idx] == line)
+        return true;
+    recent_[idx] = line;
+    return false;
+}
+
+void
+SemanticDataPrefetcher::onHint(DataHintKind kind, Addr addr,
+                               Cycle now)
+{
+    ++hintsSeen_;
+    const unsigned span = (kind == DataHintKind::BtreeChild ||
+                           kind == DataHintKind::BtreeNextLeaf)
+        ? config_.btreeLines
+        : config_.lines;
+
+    const Addr base = l1d_.lineAlign(addr);
+    for (unsigned i = 0; i < span; ++i) {
+        const Addr line = base +
+            static_cast<Addr>(i) * l1d_.lineBytes();
+        if (recentlyHinted(line)) {
+            ++linesDeduped_;
+            continue;
+        }
+        ++requested_;
+        l1d_.prefetch(line, now, AccessSource::DataPrefetch);
+    }
+}
+
+} // namespace cgp

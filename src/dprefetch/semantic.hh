@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DB-semantic data prefetcher (GrASP-style).
+ *
+ * The storage manager knows which page it will touch next — a B-tree
+ * descent computes the child PageId several hundred instructions
+ * before fixing it, a scan cursor knows its next slot — and records
+ * that knowledge as Hint events in the trace (TraceRecorder::hint).
+ * At simulation time the core delivers each hint to this prefetcher,
+ * which covers the hinted region with line prefetches.  A small
+ * recent-hint filter deduplicates the hint stream: iterator advance
+ * paths re-announce the same page repeatedly, and re-prefetching a
+ * line that was hinted moments ago only burns L2 port bandwidth.
+ */
+
+#ifndef CGP_DPREFETCH_SEMANTIC_HH
+#define CGP_DPREFETCH_SEMANTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dprefetch/dprefetcher.hh"
+
+namespace cgp
+{
+
+struct SemanticConfig
+{
+    /** Lines prefetched per heap-record / scan hint. */
+    unsigned lines = 2;
+
+    /** Lines per B-tree node hint (header + key array). */
+    unsigned btreeLines = 4;
+
+    /** Recently hinted lines remembered by the dedup filter. */
+    unsigned dedupEntries = 64;
+};
+
+class SemanticDataPrefetcher : public DataPrefetcher
+{
+  public:
+    SemanticDataPrefetcher(Cache &l1d,
+                           const SemanticConfig &config = {});
+
+    void onHint(DataHintKind kind, Addr addr, Cycle now) override;
+
+    const char *name() const override { return "semantic"; }
+
+    /// @{ Introspection for tests.
+    std::uint64_t hintsSeen() const { return hintsSeen_; }
+    /** Lines skipped by the recent-hint dedup filter. */
+    std::uint64_t linesDeduped() const { return linesDeduped_; }
+    std::uint64_t prefetchesRequested() const { return requested_; }
+    /// @}
+
+  private:
+    /** True (and remembered) if @p line was hinted recently. */
+    bool recentlyHinted(Addr line);
+
+    Cache &l1d_;
+    SemanticConfig config_;
+    /** Direct-mapped filter of recently hinted line addresses. */
+    std::vector<Addr> recent_;
+    std::uint64_t hintsSeen_ = 0;
+    std::uint64_t linesDeduped_ = 0;
+    std::uint64_t requested_ = 0;
+};
+
+} // namespace cgp
+
+#endif // CGP_DPREFETCH_SEMANTIC_HH

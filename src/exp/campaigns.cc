@@ -319,6 +319,25 @@ makeAblationAssoc()
 }
 
 CampaignSpec
+makeFigDDstall()
+{
+    CampaignSpec s;
+    s.name = "figD_dstall";
+    s.title = "Figure D — D-side prefetching (beyond the paper)";
+    // One pure-Wisconsin mix and the Wisconsin+TPC-H mix: the
+    // acceptance bar is a demand-miss reduction on both.
+    s.workloads = {"wisc-large-1", "wisc+tpch"};
+    s.explicitConfigs = {
+        SimConfig::o5(),
+        SimConfig::withDPrefetch(DataPrefetchKind::Stride),
+        SimConfig::withDPrefetch(DataPrefetchKind::Correlation),
+        SimConfig::withDPrefetch(DataPrefetchKind::Semantic),
+        SimConfig::withDPrefetch(DataPrefetchKind::Combined),
+    };
+    return s;
+}
+
+CampaignSpec
 makeSmoke()
 {
     CampaignSpec s;
@@ -333,7 +352,8 @@ makeSmoke()
 }
 
 const std::vector<std::string> figureNames = {
-    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"};
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "figD_dstall"};
 
 const std::vector<std::string> ablationNames = {
     "ablation-ranl", "ablation-design-depth",
@@ -369,6 +389,8 @@ paperCampaign(const std::string &name)
         return makeFig9();
     if (name == "fig10")
         return makeFig10();
+    if (name == "figD_dstall")
+        return makeFigDDstall();
     if (name == "ablation-ranl")
         return makeAblationRanl();
     if (name == "ablation-design-depth")

@@ -26,8 +26,17 @@ writeReport(const SimResult &result, std::ostream &os)
                           static_cast<double>(result.icacheAccesses),
                       2)});
     }
+    t.addRow({"D-cache accesses",
+              TablePrinter::num(result.dcacheAccesses)});
     t.addRow({"D-cache misses",
               TablePrinter::num(result.dcacheMisses)});
+    if (result.dcacheAccesses > 0) {
+        t.addRow({"D-cache miss ratio",
+                  TablePrinter::percent(
+                      static_cast<double>(result.dcacheMisses) /
+                          static_cast<double>(result.dcacheAccesses),
+                      2)});
+    }
     t.addRow({"L2 misses", TablePrinter::num(result.l2Misses)});
     t.addRow({"bus lines (L1<->L2)",
               TablePrinter::num(result.busLines)});
@@ -56,6 +65,20 @@ writeReport(const SimResult &result, std::ostream &os)
                       TablePrinter::percent(
                           result.cghc.usefulFraction())});
         }
+    }
+    if (result.dpf.issued > 0) {
+        t.addRule();
+        t.addRow({"D-prefetches issued",
+                  TablePrinter::num(result.dpf.issued)});
+        t.addRow({"  pref hits",
+                  TablePrinter::num(result.dpf.prefHits)});
+        t.addRow({"  delayed hits",
+                  TablePrinter::num(result.dpf.delayedHits)});
+        t.addRow({"  useless", TablePrinter::num(result.dpf.useless)});
+        t.addRow({"  useful fraction",
+                  TablePrinter::percent(result.dpf.usefulFraction())});
+        t.addRow({"  squashed",
+                  TablePrinter::num(result.dSquashedPrefetches)});
     }
     if (result.cghcAccesses > 0) {
         t.addRow({"CGHC accesses",
@@ -115,11 +138,14 @@ toJson(const SimResult &result)
     j.set("instrs", result.instrs);
     j.set("icache_accesses", result.icacheAccesses);
     j.set("icache_misses", result.icacheMisses);
+    j.set("dcache_accesses", result.dcacheAccesses);
     j.set("dcache_misses", result.dcacheMisses);
     j.set("l2_misses", result.l2Misses);
     j.set("nl", toJson(result.nl));
     j.set("cghc", toJson(result.cghc));
+    j.set("dpf", toJson(result.dpf));
     j.set("squashed_prefetches", result.squashedPrefetches);
+    j.set("d_squashed_prefetches", result.dSquashedPrefetches);
     j.set("bus_lines", result.busLines);
     j.set("branch_mispredicts", result.branchMispredicts);
     j.set("cghc_accesses", result.cghcAccesses);
@@ -151,11 +177,15 @@ simResultFromJson(const Json &json)
     r.instrs = json.at("instrs").asUint();
     r.icacheAccesses = json.at("icache_accesses").asUint();
     r.icacheMisses = json.at("icache_misses").asUint();
+    r.dcacheAccesses = json.at("dcache_accesses").asUint();
     r.dcacheMisses = json.at("dcache_misses").asUint();
     r.l2Misses = json.at("l2_misses").asUint();
     r.nl = prefetchBreakdownFromJson(json.at("nl"));
     r.cghc = prefetchBreakdownFromJson(json.at("cghc"));
+    r.dpf = prefetchBreakdownFromJson(json.at("dpf"));
     r.squashedPrefetches = json.at("squashed_prefetches").asUint();
+    r.dSquashedPrefetches =
+        json.at("d_squashed_prefetches").asUint();
     r.busLines = json.at("bus_lines").asUint();
     r.branchMispredicts = json.at("branch_mispredicts").asUint();
     r.cghcAccesses = json.at("cghc_accesses").asUint();

@@ -94,28 +94,42 @@ SimConfig::perfectICacheOn(LayoutKind layout)
     return c;
 }
 
+SimConfig
+SimConfig::withDPrefetch(DataPrefetchKind kind)
+{
+    SimConfig c;
+    c.dprefetch.kind = kind;
+    return c;
+}
+
 std::string
 SimConfig::describe() const
 {
     std::string s = layoutName(layout);
-    if (perfectICache)
-        return s + "+perf-Icache";
-    switch (prefetch) {
-      case PrefetchKind::None:
-        break;
-      case PrefetchKind::NextNLine:
-        s += "+NL_" + std::to_string(depth);
-        break;
-      case PrefetchKind::RunAheadNL:
-        s += "+RANL_" + std::to_string(depth) + "skip" +
-            std::to_string(runaheadSkip);
-        break;
-      case PrefetchKind::Cgp:
-        s += "+CGP_" + std::to_string(depth);
-        break;
-      case PrefetchKind::SoftwareCgp:
-        s += "+SWCGP_" + std::to_string(depth);
-        break;
+    if (perfectICache) {
+        s += "+perf-Icache";
+    } else {
+        switch (prefetch) {
+          case PrefetchKind::None:
+            break;
+          case PrefetchKind::NextNLine:
+            s += "+NL_" + std::to_string(depth);
+            break;
+          case PrefetchKind::RunAheadNL:
+            s += "+RANL_" + std::to_string(depth) + "skip" +
+                std::to_string(runaheadSkip);
+            break;
+          case PrefetchKind::Cgp:
+            s += "+CGP_" + std::to_string(depth);
+            break;
+          case PrefetchKind::SoftwareCgp:
+            s += "+SWCGP_" + std::to_string(depth);
+            break;
+        }
+    }
+    if (dprefetch.kind != DataPrefetchKind::None) {
+        s += std::string("+D-") +
+            dataPrefetchKindName(dprefetch.kind);
     }
     return s;
 }

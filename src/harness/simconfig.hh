@@ -13,6 +13,7 @@
 
 #include "codegen/layout.hh"
 #include "cpu/core.hh"
+#include "dprefetch/factory.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/cghc.hh"
 
@@ -43,6 +44,9 @@ struct SimConfig
 
     CghcConfig cghc = CghcConfig::twoLevel2K32K();
 
+    /** Data-side prefetch engine on the L1-D path (src/dprefetch). */
+    DPrefetchConfig dprefetch;
+
     bool perfectICache = false;
 
     /**
@@ -66,6 +70,9 @@ struct SimConfig
                                     unsigned skip);
     static SimConfig withSoftwareCgp(LayoutKind layout, unsigned n);
     static SimConfig perfectICacheOn(LayoutKind layout);
+    /** O5 binary, no I-prefetch, the given D-prefetch engine —
+     *  isolates the data side for the figD_dstall campaign. */
+    static SimConfig withDPrefetch(DataPrefetchKind kind);
     /// @}
 
     /** Bar label in the paper's style ("O5+OM+CGP_4"). */

@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "cpu/core.hh"
+#include "dprefetch/factory.hh"
+#include "dprefetch/failsoft.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/cgp.hh"
 #include "prefetch/failsoft.hh"
@@ -93,9 +95,34 @@ runSimulation(const Workload &workload, const SimConfig &config)
         prefetcher = std::move(fs);
     }
 
+    // The data-side engine gets the same fail-soft treatment: a
+    // construction failure falls back to no data prefetch, a mid-run
+    // fault disables it for the rest of the run.
+    std::unique_ptr<DataPrefetcher> dinner;
+    try {
+        dinner = makeDataPrefetcher(mem.l1d(), config.dprefetch);
+    } catch (const std::exception &e) {
+        if (!ctor_failed) {
+            ctor_failed = true;
+            ctor_reason = e.what();
+        }
+        dinner.reset();
+        cgp_error("data prefetcher construction failed (", e.what(),
+                  "); running without data prefetch");
+    }
+    FailSoftDataPrefetcher *dfailsoft = nullptr;
+    std::unique_ptr<DataPrefetcher> dprefetcher;
+    if (dinner != nullptr) {
+        auto fs = std::make_unique<FailSoftDataPrefetcher>(
+            std::move(dinner));
+        dfailsoft = fs.get();
+        dprefetcher = std::move(fs);
+    }
+
     CoreConfig core_cfg = config.core;
     core_cfg.perfectICache = config.perfectICache;
-    Core core(stream, mem, prefetcher.get(), core_cfg);
+    Core core(stream, mem, prefetcher.get(), core_cfg,
+              dprefetcher.get());
 
     // 3. Run.
     core.run();
@@ -108,9 +135,11 @@ runSimulation(const Workload &workload, const SimConfig &config)
     r.instrs = core.committedInstrs();
 
     const Cache &l1i = mem.l1i();
+    const Cache &l1d = mem.l1d();
     r.icacheAccesses = l1i.demandAccesses();
     r.icacheMisses = l1i.demandMisses();
-    r.dcacheMisses = mem.l1d().demandMisses();
+    r.dcacheAccesses = l1d.demandAccesses();
+    r.dcacheMisses = l1d.demandMisses();
     r.l2Misses = mem.l2().demandMisses();
 
     r.nl.issued = l1i.prefetchesIssued(AccessSource::PrefetchNL);
@@ -122,7 +151,13 @@ runSimulation(const Workload &workload, const SimConfig &config)
     r.cghc.delayedHits =
         l1i.delayedHits(AccessSource::PrefetchCGHC);
     r.cghc.useless = l1i.useless(AccessSource::PrefetchCGHC);
+    r.dpf.issued =
+        l1d.prefetchesIssued(AccessSource::DataPrefetch);
+    r.dpf.prefHits = l1d.prefHits(AccessSource::DataPrefetch);
+    r.dpf.delayedHits = l1d.delayedHits(AccessSource::DataPrefetch);
+    r.dpf.useless = l1d.useless(AccessSource::DataPrefetch);
     r.squashedPrefetches = l1i.squashedPrefetches();
+    r.dSquashedPrefetches = l1d.squashedPrefetches();
     r.busLines = mem.port().requests();
 
     r.branchMispredicts = core.branchUnit().mispredicts();
@@ -136,6 +171,9 @@ runSimulation(const Workload &workload, const SimConfig &config)
     } else if (failsoft != nullptr && failsoft->degraded()) {
         r.prefetchDegraded = true;
         r.degradedReason = failsoft->reason();
+    } else if (dfailsoft != nullptr && dfailsoft->degraded()) {
+        r.prefetchDegraded = true;
+        r.degradedReason = dfailsoft->reason();
     }
     r.instrsPerCall = stream.instrsPerCall();
     return r;

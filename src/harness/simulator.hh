@@ -54,12 +54,15 @@ struct SimResult
 
     std::uint64_t icacheAccesses = 0;
     std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheAccesses = 0;
     std::uint64_t dcacheMisses = 0;
     std::uint64_t l2Misses = 0;
 
-    PrefetchBreakdown nl;   ///< NL-attributed prefetches
-    PrefetchBreakdown cghc; ///< CGHC-attributed prefetches
-    std::uint64_t squashedPrefetches = 0;
+    PrefetchBreakdown nl;   ///< NL-attributed prefetches (I-side)
+    PrefetchBreakdown cghc; ///< CGHC-attributed prefetches (I-side)
+    PrefetchBreakdown dpf;  ///< data-prefetch engine (D-side)
+    std::uint64_t squashedPrefetches = 0;  ///< L1-I squashes
+    std::uint64_t dSquashedPrefetches = 0; ///< L1-D squashes
 
     /** L2->L1 lines moved (demand fills + prefetch fills). */
     std::uint64_t busLines = 0;
@@ -105,10 +108,12 @@ struct SimResult
             a.cycles == b.cycles && a.instrs == b.instrs &&
             a.icacheAccesses == b.icacheAccesses &&
             a.icacheMisses == b.icacheMisses &&
+            a.dcacheAccesses == b.dcacheAccesses &&
             a.dcacheMisses == b.dcacheMisses &&
             a.l2Misses == b.l2Misses && a.nl == b.nl &&
-            a.cghc == b.cghc &&
+            a.cghc == b.cghc && a.dpf == b.dpf &&
             a.squashedPrefetches == b.squashedPrefetches &&
+            a.dSquashedPrefetches == b.dSquashedPrefetches &&
             a.busLines == b.busLines &&
             a.branchMispredicts == b.branchMispredicts &&
             a.cghcAccesses == b.cghcAccesses &&

@@ -14,12 +14,16 @@ accessSourceName(AccessSource src)
     switch (src) {
       case AccessSource::DemandFetch:
         return "demand_fetch";
-      case AccessSource::DemandData:
-        return "demand_data";
+      case AccessSource::DemandLoad:
+        return "demand_load";
+      case AccessSource::DemandStore:
+        return "demand_store";
       case AccessSource::PrefetchNL:
         return "prefetch_nl";
       case AccessSource::PrefetchCGHC:
         return "prefetch_cghc";
+      case AccessSource::DataPrefetch:
+        return "data_prefetch";
       default:
         return "?";
     }
@@ -229,8 +233,6 @@ Cache::finalize()
             l.referenced = true;
         }
     }
-    if (next_ != nullptr)
-        next_->finalize();
 }
 
 std::uint64_t

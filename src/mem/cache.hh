@@ -33,14 +33,18 @@
 namespace cgp
 {
 
-/** Who generated a memory-system request (for attribution stats). */
+/** Who generated a memory-system request (for attribution stats).
+ *  I-side and D-side sources are distinct so prefetch accuracy is
+ *  never conflated across the two in SimResult. */
 enum class AccessSource : std::uint8_t
 {
     DemandFetch = 0,  ///< instruction fetch
-    DemandData = 1,   ///< load/store
-    PrefetchNL = 2,   ///< next-N-line prefetcher
-    PrefetchCGHC = 3, ///< call graph history cache
-    NumSources = 4
+    DemandLoad = 1,   ///< data load
+    DemandStore = 2,  ///< data store
+    PrefetchNL = 3,   ///< next-N-line prefetcher (I-side)
+    PrefetchCGHC = 4, ///< call graph history cache (I-side)
+    DataPrefetch = 5, ///< data-side prefetch engine (src/dprefetch)
+    NumSources = 6
 };
 
 const char *accessSourceName(AccessSource src);

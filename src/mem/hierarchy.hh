@@ -47,8 +47,12 @@ class MemoryHierarchy
     void
     finalize()
     {
+        // Each level is finalized exactly once, including the L2:
+        // still-unreferenced L2 prefetched lines must be classified
+        // in end-of-run accounting too.
         l1i_.finalize();
         l1d_.finalize();
+        l2_.finalize();
     }
 
   private:

@@ -61,6 +61,13 @@ struct DynInst
 
     /** For Call: callee start; for Return: returnee start address. */
     Addr otherFuncStart = invalidAddr;
+
+    /** Semantic data-prefetch hint riding on this instruction, or
+     *  invalidAddr when none.  See DataHintKind. */
+    Addr hintAddr = invalidAddr;
+
+    /** Valid only when hintAddr is set (raw DataHintKind value). */
+    std::uint8_t hintKind = 0;
 };
 
 } // namespace cgp

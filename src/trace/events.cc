@@ -1,0 +1,25 @@
+#include "trace/events.hh"
+
+namespace cgp
+{
+
+const char *
+dataHintKindName(DataHintKind kind)
+{
+    switch (kind) {
+      case DataHintKind::BtreeChild:
+        return "btree_child";
+      case DataHintKind::BtreeNextLeaf:
+        return "btree_next_leaf";
+      case DataHintKind::HeapNextSlot:
+        return "heap_next_slot";
+      case DataHintKind::HeapNextPage:
+        return "heap_next_page";
+      case DataHintKind::HeapRecord:
+        return "heap_record";
+      default:
+        return "?";
+    }
+}
+
+} // namespace cgp

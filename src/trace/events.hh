@@ -29,8 +29,27 @@ enum class EventKind : std::uint8_t
     Branch = 4, ///< data-dependent branch (payload: taken bit)
     Load = 5,   ///< explicit data read (payload: address)
     Store = 6,  ///< explicit data write (payload: address)
-    Switch = 7  ///< context switch (payload: thread id)
+    Switch = 7, ///< context switch (payload: thread id)
+    Hint = 8    ///< data-prefetch hint (payload: kind + address)
 };
+
+/**
+ * What a semantic data-prefetch hint announces.  Emitted by the
+ * storage manager while the workload records its trace (the code
+ * *knows* which page/slot it will touch next) and consumed at
+ * simulation time by the DB-semantic data prefetcher.
+ */
+enum class DataHintKind : std::uint8_t
+{
+    BtreeChild = 0,    ///< child node the descent will fix next
+    BtreeNextLeaf = 1, ///< leaf-chain successor of a range scan
+    HeapNextSlot = 2,  ///< next record of a sequential scan
+    HeapNextPage = 3,  ///< next page of a sequential scan
+    HeapRecord = 4,    ///< record about to be fetched by RID
+    NumKinds = 5
+};
+
+const char *dataHintKindName(DataHintKind kind);
 
 /** One packed event: kind in the top 4 bits, payload below. */
 class TraceEvent
@@ -66,6 +85,35 @@ class TraceEvent
 };
 
 /**
+ * Hint payload layout: hint kind in payload bits 56..59, address in
+ * bits 0..55 (all synthetic data-segment addresses fit well below
+ * 2^56).
+ */
+constexpr unsigned hintKindShift = 56;
+constexpr std::uint64_t hintAddrMask = (1ull << hintKindShift) - 1;
+
+inline TraceEvent
+makeHintEvent(DataHintKind kind, Addr addr)
+{
+    cgp_assert((addr & ~hintAddrMask) == 0, "hint address overflow");
+    return TraceEvent::make(
+        EventKind::Hint,
+        (static_cast<std::uint64_t>(kind) << hintKindShift) | addr);
+}
+
+inline DataHintKind
+hintKindOf(std::uint64_t payload)
+{
+    return static_cast<DataHintKind>(payload >> hintKindShift);
+}
+
+inline Addr
+hintAddrOf(std::uint64_t payload)
+{
+    return payload & hintAddrMask;
+}
+
+/**
  * A recorded event sequence plus summary counts.  Summary counts are
  * maintained on append so the interleaver can meter quanta cheaply.
  */
@@ -83,6 +131,9 @@ class TraceBuffer
           case EventKind::Call:
             ++calls_;
             ++approxInstrs_;
+            break;
+          case EventKind::Hint:
+            // Metadata riding on the stream; costs no instruction.
             break;
           default:
             ++approxInstrs_;

@@ -429,6 +429,11 @@ InstructionExpander::refill()
                     + curThread_ * stackSegmentStride;
             }
             break;
+          case EventKind::Hint:
+            // Hints cost no instruction slot: park the payload until
+            // the next emitted instruction carries it to the core.
+            pendingHints_.push_back(e.payload());
+            break;
         }
     }
     return true;
@@ -441,6 +446,13 @@ InstructionExpander::next(DynInst &out)
         return false;
     out = ready_.front();
     ready_.pop_front();
+    if (!pendingHints_.empty()) {
+        const std::uint64_t payload = pendingHints_.front();
+        pendingHints_.pop_front();
+        out.hintAddr = hintAddrOf(payload);
+        out.hintKind =
+            static_cast<std::uint8_t>(hintKindOf(payload));
+    }
     return true;
 }
 

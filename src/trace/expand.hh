@@ -169,6 +169,8 @@ class InstructionExpander
     std::unordered_map<FunctionId, std::uint32_t> invocations_;
     std::unordered_map<std::uint64_t, ThreadState> threads_;
     std::deque<DynInst> ready_;
+    /** Hint payloads awaiting an instruction to ride on. */
+    std::deque<std::uint64_t> pendingHints_;
     std::uint64_t workLeft_ = 0;
 
     std::uint64_t emitted_ = 0;

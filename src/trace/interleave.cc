@@ -19,6 +19,7 @@ eventCost(TraceEvent e)
       case EventKind::Work:
         return e.payload();
       case EventKind::Switch:
+      case EventKind::Hint:
         return 0;
       default:
         return 1;

@@ -84,6 +84,21 @@ class TraceRecorder
                                       addr & TraceEvent::payloadMask));
     }
 
+    /**
+     * Semantic data-prefetch hint: the workload announces an address
+     * it is about to touch (B-tree child node, next scan slot, ...).
+     * Hints for unknown addresses (invalidAddr, e.g. a page not yet
+     * resident in the buffer pool) are silently dropped — a hint is
+     * an optimisation, never an obligation.
+     */
+    void
+    hint(DataHintKind kind, Addr addr)
+    {
+        if (addr == invalidAddr || (addr & ~hintAddrMask) != 0)
+            return;
+        buf_->append(makeHintEvent(kind, addr));
+    }
+
     /** Current call nesting depth (0 at top level). */
     unsigned depth() const { return depth_; }
 
@@ -120,6 +135,7 @@ class TraceScope
     void branch(bool taken) { rec_.branch(taken); }
     void loadAt(Addr addr) { rec_.loadAt(addr); }
     void storeAt(Addr addr) { rec_.storeAt(addr); }
+    void hint(DataHintKind k, Addr addr) { rec_.hint(k, addr); }
 
   private:
     TraceRecorder &rec_;

@@ -220,7 +220,7 @@ TEST(Hierarchy, PortSharedBetweenIAndD)
     MemoryHierarchy mem;
     const auto before = mem.port().requests();
     mem.l1i().access(0x400000, 1, kFetch, false);
-    mem.l1d().access(0x800000, 1, AccessSource::DemandData, false);
+    mem.l1d().access(0x800000, 1, AccessSource::DemandLoad, false);
     EXPECT_EQ(mem.port().requests(), before + 2);
 }
 

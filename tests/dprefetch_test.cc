@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the data-side prefetching subsystem (src/dprefetch):
+ * stride confidence promotion/demotion, correlation-table recording,
+ * eviction bounds and depth/degree limits, semantic-hint coverage and
+ * dedup, hint transport through the trace/expander, D-side
+ * useful/late/polluting classification, and the fail-soft wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "codegen/layout.hh"
+#include "dprefetch/correlation.hh"
+#include "dprefetch/factory.hh"
+#include "dprefetch/failsoft.hh"
+#include "dprefetch/semantic.hh"
+#include "dprefetch/stride.hh"
+#include "mem/hierarchy.hh"
+#include "trace/expand.hh"
+#include "trace/recorder.hh"
+
+namespace cgp
+{
+namespace
+{
+
+constexpr auto kLoad = AccessSource::DemandLoad;
+constexpr auto kDPF = AccessSource::DataPrefetch;
+
+/** Standalone L1-D stand-in, memory-backed. */
+CacheConfig
+dcacheConfig(std::uint32_t size_bytes = 32 * 1024)
+{
+    CacheConfig c;
+    c.name = "l1d";
+    c.sizeBytes = size_bytes;
+    c.assoc = 2;
+    c.lineBytes = 32;
+    c.hitLatency = 1;
+    return c;
+}
+
+// ---------------------------------------------------------------
+// Stride prefetcher
+// ---------------------------------------------------------------
+
+TEST(Stride, PromotesAfterRepeatedStrideAndPrefetchesAhead)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    StrideConfig cfg;
+    cfg.degree = 2;
+    cfg.promoteAt = 2;
+    StrideDataPrefetcher pf(cache, cfg);
+
+    const Addr pc = 0x400100;
+    pf.onAccess(pc, 0x1000, false, true, 1); // allocate
+    EXPECT_EQ(pf.confidenceFor(pc), 0u);
+    pf.onAccess(pc, 0x1040, false, true, 2); // train stride
+    EXPECT_EQ(pf.confidenceFor(pc), 0u);
+    EXPECT_EQ(pf.prefetchesRequested(), 0u);
+    pf.onAccess(pc, 0x1080, false, true, 3); // stride repeats
+    EXPECT_EQ(pf.confidenceFor(pc), 1u);
+    EXPECT_EQ(pf.prefetchesRequested(), 0u); // below promoteAt
+
+    pf.onAccess(pc, 0x10C0, false, true, 4); // promoted
+    EXPECT_EQ(pf.confidenceFor(pc), 2u);
+    // Degree 2, stride 0x40 > line size: two distinct target lines.
+    EXPECT_EQ(pf.prefetchesRequested(), 2u);
+    EXPECT_EQ(cache.prefetchesIssued(kDPF), 2u);
+}
+
+TEST(Stride, StrayAccessDemotesWithoutRetraining)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    StrideConfig cfg;
+    cfg.maxConfidence = 3;
+    StrideDataPrefetcher pf(cache, cfg);
+
+    const Addr pc = 0x400200;
+    Addr a = 0x2000;
+    for (int i = 0; i < 6; ++i, a += 0x40)
+        pf.onAccess(pc, a, false, false, i + 1);
+    EXPECT_EQ(pf.confidenceFor(pc), cfg.maxConfidence);
+
+    // One stray access: confidence drops, the stride survives...
+    pf.onAccess(pc, 0x9000, false, false, 10);
+    EXPECT_EQ(pf.confidenceFor(pc), cfg.maxConfidence - 1);
+    // ...so the stream re-promotes on the very next matching delta.
+    pf.onAccess(pc, 0x9040, false, false, 11);
+    EXPECT_EQ(pf.confidenceFor(pc), cfg.maxConfidence);
+}
+
+TEST(Stride, RetrainsStrideOnlyAtZeroConfidence)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    StrideDataPrefetcher pf(cache);
+
+    const Addr pc = 0x400300;
+    pf.onAccess(pc, 0x1000, false, false, 1);
+    pf.onAccess(pc, 0x1010, false, false, 2); // stride := 0x10
+    pf.onAccess(pc, 0x1030, false, false, 3); // conf 0 -> stride := 0x20
+    pf.onAccess(pc, 0x1050, false, false, 4); // matches new stride
+    EXPECT_EQ(pf.confidenceFor(pc), 1u);
+}
+
+TEST(Stride, TagConflictReallocatesSlot)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    StrideConfig cfg;
+    cfg.tableEntries = 16;
+    StrideDataPrefetcher pf(cache, cfg);
+
+    const Addr pc_a = 0x400400;
+    const Addr pc_b = pc_a + 4 * cfg.tableEntries; // same slot
+    Addr a = 0x3000;
+    for (int i = 0; i < 5; ++i, a += 0x40)
+        pf.onAccess(pc_a, a, false, false, i + 1);
+    EXPECT_GT(pf.confidenceFor(pc_a), 0u);
+
+    pf.onAccess(pc_b, 0x8000, false, false, 10);
+    EXPECT_EQ(pf.confidenceFor(pc_a), 0u); // slot taken over
+    EXPECT_EQ(pf.confidenceFor(pc_b), 0u); // fresh allocation
+}
+
+// ---------------------------------------------------------------
+// Miss-correlation prefetcher
+// ---------------------------------------------------------------
+
+TEST(Correlation, RecordsSuccessorsInMruOrderAndPrefetchesThem)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    CorrelationDataPrefetcher pf(cache);
+
+    const Addr A = 0x1000, B = 0x2000, C = 0x3000;
+    pf.onMiss(0, A, 1);
+    pf.onMiss(0, B, 2); // records A -> B
+    EXPECT_EQ(pf.successorsOf(A), std::vector<Addr>{B});
+
+    pf.onMiss(0, A, 3); // records B -> A; prefetches succ(A) = {B}
+    EXPECT_GE(pf.prefetchesRequested(), 1u);
+    EXPECT_EQ(cache.prefetchesIssued(kDPF), pf.prefetchesRequested());
+
+    pf.onMiss(0, C, 4); // records A -> C
+    pf.onMiss(0, A, 5); // records C -> A
+    EXPECT_EQ(pf.successorsOf(A), (std::vector<Addr>{C, B}));
+}
+
+TEST(Correlation, SuccessorListBoundedMruFirst)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    CorrelationConfig cfg;
+    cfg.successors = 2;
+    CorrelationDataPrefetcher pf(cache, cfg);
+
+    const Addr A = 0x1000, B = 0x2000, C = 0x3000, D = 0x4000;
+    for (Addr succ : {B, C, D}) {
+        pf.onMiss(0, A, 1);
+        pf.onMiss(0, succ, 2);
+    }
+    // B fell off the end: only the two most recent remain.
+    EXPECT_EQ(pf.successorsOf(A), (std::vector<Addr>{D, C}));
+}
+
+TEST(Correlation, TableBoundedWithLruEviction)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    CorrelationConfig cfg;
+    cfg.entries = 4;
+    cfg.assoc = 2;
+    CorrelationDataPrefetcher pf(cache, cfg);
+
+    for (int i = 0; i < 40; ++i)
+        pf.onMiss(0, 0x10000 + static_cast<Addr>(i) * 0x1000, i + 1);
+    EXPECT_LE(pf.entryCount(), 4u);
+    EXPECT_GT(pf.evictions(), 0u);
+}
+
+TEST(Correlation, DepthChainsThroughMostRecentSuccessor)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    CorrelationConfig cfg;
+    cfg.degree = 1;
+    cfg.depth = 2;
+    CorrelationDataPrefetcher pf(cache, cfg);
+
+    const Addr A = 0x1000, B = 0x2000, C = 0x3000;
+    pf.onMiss(0, A, 1);
+    pf.onMiss(0, B, 2); // A -> B
+    pf.onMiss(0, C, 3); // B -> C
+    EXPECT_EQ(pf.prefetchesRequested(), 0u);
+
+    // Miss on A again: depth 2 walks A -> B (prefetch B), then
+    // chains through B -> C (prefetch C).  Degree 1 caps each hop.
+    pf.onMiss(0, A, 4);
+    EXPECT_EQ(pf.prefetchesRequested(), 2u);
+}
+
+TEST(Correlation, DegreeCapsPrefetchesPerLookup)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    CorrelationConfig cfg;
+    cfg.degree = 1;
+    cfg.depth = 1;
+    CorrelationDataPrefetcher pf(cache, cfg);
+
+    const Addr A = 0x1000;
+    for (Addr succ : {0x2000ull, 0x3000ull, 0x4000ull}) {
+        pf.onMiss(0, A, 1);
+        pf.onMiss(0, succ, 2);
+    }
+    const auto before = pf.prefetchesRequested();
+    pf.onMiss(0, 0x9000, 8); // make lastMiss != A
+    pf.onMiss(0, A, 9);      // succ(A) has 3 entries; degree is 1
+    EXPECT_EQ(pf.prefetchesRequested(), before + 1);
+}
+
+// ---------------------------------------------------------------
+// Semantic prefetcher
+// ---------------------------------------------------------------
+
+TEST(Semantic, BtreeHintsCoverMoreLinesThanHeapHints)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    SemanticConfig cfg;
+    cfg.lines = 2;
+    cfg.btreeLines = 4;
+    SemanticDataPrefetcher pf(cache, cfg);
+
+    pf.onHint(DataHintKind::HeapRecord, 0x1000, 1);
+    EXPECT_EQ(pf.prefetchesRequested(), 2u);
+    pf.onHint(DataHintKind::BtreeChild, 0x4000, 2);
+    EXPECT_EQ(pf.prefetchesRequested(), 6u);
+    EXPECT_EQ(pf.hintsSeen(), 2u);
+    EXPECT_EQ(cache.prefetchesIssued(kDPF), 6u);
+}
+
+TEST(Semantic, RepeatedHintsDeduplicated)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    SemanticConfig cfg;
+    cfg.lines = 2;
+    SemanticDataPrefetcher pf(cache, cfg);
+
+    pf.onHint(DataHintKind::HeapNextSlot, 0x1000, 1);
+    const auto requested = pf.prefetchesRequested();
+    // The iterator advance path re-announces the same page.
+    pf.onHint(DataHintKind::HeapNextSlot, 0x1000, 2);
+    pf.onHint(DataHintKind::HeapNextSlot, 0x1008, 3); // same lines
+    EXPECT_EQ(pf.prefetchesRequested(), requested);
+    EXPECT_EQ(pf.linesDeduped(), 2u * cfg.lines);
+    EXPECT_EQ(pf.hintsSeen(), 3u);
+}
+
+// ---------------------------------------------------------------
+// Hint transport: recorder -> trace -> expander -> DynInst
+// ---------------------------------------------------------------
+
+TEST(HintTransport, HintsRideTheTraceAndAttachToInstructions)
+{
+    FunctionRegistry reg;
+    const FunctionId f = reg.declare("F", FunctionTraits::small());
+    TraceBuffer trace;
+    TraceRecorder rec(trace);
+    rec.call(f);
+    rec.work(20);
+    rec.hint(DataHintKind::BtreeChild, 0xABC0);
+    rec.loadAt(0x1000'0000);
+    rec.work(10);
+    rec.hint(DataHintKind::HeapNextSlot, 0x5540);
+    rec.hint(DataHintKind::HeapRecord, invalidAddr); // dropped
+    rec.storeAt(0x1000'0040);
+    rec.ret();
+
+    LayoutBuilder builder(reg);
+    const CodeImage image = builder.buildOriginal();
+    InstructionExpander ex(reg, image, trace);
+    std::vector<DynInst> hinted;
+    DynInst inst;
+    while (ex.next(inst)) {
+        if (inst.hintAddr != invalidAddr)
+            hinted.push_back(inst);
+    }
+    ASSERT_EQ(hinted.size(), 2u);
+    EXPECT_EQ(hinted[0].hintAddr, 0xABC0u);
+    EXPECT_EQ(static_cast<DataHintKind>(hinted[0].hintKind),
+              DataHintKind::BtreeChild);
+    EXPECT_EQ(hinted[1].hintAddr, 0x5540u);
+    EXPECT_EQ(static_cast<DataHintKind>(hinted[1].hintKind),
+              DataHintKind::HeapNextSlot);
+}
+
+TEST(HintTransport, PayloadPacksKindAndAddress)
+{
+    const TraceEvent e =
+        makeHintEvent(DataHintKind::HeapNextPage, 0x1234'5678);
+    EXPECT_EQ(e.kind(), EventKind::Hint);
+    EXPECT_EQ(hintKindOf(e.payload()), DataHintKind::HeapNextPage);
+    EXPECT_EQ(hintAddrOf(e.payload()), 0x1234'5678u);
+}
+
+// ---------------------------------------------------------------
+// D-side classification (§5.6 rules with AccessSource::DataPrefetch)
+// ---------------------------------------------------------------
+
+TEST(DsideClassification, UsefulLateAndPollutingSeparated)
+{
+    // 4-line cache: 2 sets x 2 ways.
+    Cache cache(dcacheConfig(128), nullptr, nullptr);
+
+    // Useful: filled before the demand load arrives.
+    ASSERT_TRUE(cache.prefetch(0x2000, 1, kDPF));
+    cache.tick(200);
+    EXPECT_TRUE(cache.access(0x2000, 200, kLoad, false).hit);
+    EXPECT_EQ(cache.prefHits(kDPF), 1u);
+    EXPECT_EQ(cache.demandMisses(), 0u);
+
+    // Late: demand load joins the in-flight prefetch.
+    ASSERT_TRUE(cache.prefetch(0x2040, 201, kDPF));
+    const auto r = cache.access(0x2040, 203, kLoad, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.delayedHit);
+    EXPECT_EQ(cache.delayedHits(kDPF), 1u);
+    EXPECT_EQ(cache.demandMisses(), 0u);
+
+    // Polluting: filled, never referenced, classified at finalize.
+    cache.tick(400);
+    ASSERT_TRUE(cache.prefetch(0x3000, 400, kDPF));
+    cache.tick(600);
+    cache.finalize();
+    EXPECT_EQ(cache.useless(kDPF), 1u);
+    // Conservation: every issued prefetch classified exactly once.
+    EXPECT_EQ(cache.prefetchesIssued(kDPF),
+              cache.prefHits(kDPF) + cache.delayedHits(kDPF) +
+                  cache.useless(kDPF));
+}
+
+TEST(DsideClassification, HierarchyFinalizeCoversL2)
+{
+    MemoryHierarchy mem;
+    // A prefetch into the L2 that is never referenced must be
+    // classified useless by MemoryHierarchy::finalize() — the L2 is
+    // finalized explicitly, not via the L1 chain.
+    ASSERT_TRUE(mem.l2().prefetch(0x7000, 1, kDPF));
+    mem.tick(500);
+    mem.finalize();
+    EXPECT_EQ(mem.l2().useless(kDPF), 1u);
+    EXPECT_EQ(mem.l2().prefetchesIssued(kDPF), 1u);
+}
+
+// ---------------------------------------------------------------
+// Factory + combined engine
+// ---------------------------------------------------------------
+
+TEST(Factory, NoneYieldsNoEngine)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    DPrefetchConfig cfg;
+    EXPECT_EQ(makeDataPrefetcher(cache, cfg), nullptr);
+}
+
+TEST(Factory, KindsProduceNamedEngines)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    const std::pair<DataPrefetchKind, const char *> kinds[] = {
+        {DataPrefetchKind::Stride, "stride"},
+        {DataPrefetchKind::Correlation, "corr"},
+        {DataPrefetchKind::Semantic, "semantic"},
+        {DataPrefetchKind::Combined, "combined"},
+    };
+    for (const auto &[kind, name] : kinds) {
+        DPrefetchConfig cfg;
+        cfg.kind = kind;
+        const auto pf = makeDataPrefetcher(cache, cfg);
+        ASSERT_NE(pf, nullptr);
+        EXPECT_STREQ(pf->name(), name);
+        EXPECT_STREQ(dataPrefetchKindName(kind), name);
+    }
+}
+
+TEST(Factory, CombinedForwardsAllEventChannels)
+{
+    Cache cache(dcacheConfig(), nullptr, nullptr);
+    DPrefetchConfig cfg;
+    cfg.kind = DataPrefetchKind::Combined;
+    const auto pf = makeDataPrefetcher(cache, cfg);
+    ASSERT_NE(pf, nullptr);
+
+    // Semantic channel reaches the semantic part.
+    pf->onHint(DataHintKind::BtreeChild, 0x4000, 1);
+    EXPECT_GT(cache.prefetchesIssued(kDPF), 0u);
+
+    // Access channel reaches the stride part: train a stream.
+    const auto before = cache.prefetchesIssued(kDPF) +
+        cache.squashedPrefetches();
+    Addr a = 0x100000;
+    for (int i = 0; i < 8; ++i, a += 0x40)
+        pf->onAccess(0x400100, a, false, false, i + 2);
+    EXPECT_GT(cache.prefetchesIssued(kDPF) +
+                  cache.squashedPrefetches(),
+              before);
+}
+
+// ---------------------------------------------------------------
+// Fail-soft wrapper
+// ---------------------------------------------------------------
+
+struct ThrowingDataPrefetcher : DataPrefetcher
+{
+    void
+    onAccess(Addr, Addr, bool, bool, Cycle) override
+    {
+        throw std::runtime_error("injected dprefetch fault");
+    }
+    const char *name() const override { return "throwy"; }
+};
+
+TEST(FailSoft, FirstFaultDisablesInnerAndRunContinues)
+{
+    FailSoftDataPrefetcher fs(
+        std::make_unique<ThrowingDataPrefetcher>());
+    EXPECT_FALSE(fs.degraded());
+    EXPECT_STREQ(fs.name(), "throwy");
+
+    EXPECT_NO_THROW(fs.onAccess(0x100, 0x1000, false, true, 1));
+    EXPECT_TRUE(fs.degraded());
+    EXPECT_NE(fs.reason().find("injected dprefetch fault"),
+              std::string::npos);
+    EXPECT_STREQ(fs.name(), "none (degraded)");
+
+    // Every hook is now a no-op; nothing escapes.
+    EXPECT_NO_THROW(fs.onAccess(0x100, 0x1040, false, true, 2));
+    EXPECT_NO_THROW(fs.onMiss(0x100, 0x1080, 3));
+    EXPECT_NO_THROW(fs.onHint(DataHintKind::HeapRecord, 0x2000, 4));
+}
+
+} // namespace
+} // namespace cgp
