@@ -360,6 +360,11 @@ Core::run()
         doDispatch();
         doFetch();
 
+        // Demand priority on the shared L2 port: only after every
+        // demand access of this cycle has claimed its slot may the
+        // arbiter issue deferred prefetches into what is left.
+        mem_.drainDeferred(now_);
+
         if (committed_.value() == before && fetchQueue_.empty() &&
             rob_.empty()) {
             DynInst probe;

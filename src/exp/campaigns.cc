@@ -338,6 +338,26 @@ makeFigDDstall()
 }
 
 CampaignSpec
+makeFigIDInteraction()
+{
+    CampaignSpec s;
+    s.name = "figID_interaction";
+    s.title =
+        "Figure ID — I+D prefetch interaction on the shared L2 port";
+    // Same two mixes as figD_dstall.  Four points: each side alone,
+    // both un-throttled (they fight for the port), both behind the
+    // accuracy-gated arbiter.
+    s.workloads = {"wisc-large-1", "wisc+tpch"};
+    s.explicitConfigs = {
+        cgp4om(),
+        SimConfig::withDPrefetch(DataPrefetchKind::Combined),
+        SimConfig::withIPlusD(DataPrefetchKind::Combined, false),
+        SimConfig::withIPlusD(DataPrefetchKind::Combined, true),
+    };
+    return s;
+}
+
+CampaignSpec
 makeSmoke()
 {
     CampaignSpec s;
@@ -353,7 +373,7 @@ makeSmoke()
 
 const std::vector<std::string> figureNames = {
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "figD_dstall"};
+    "figD_dstall", "figID_interaction"};
 
 const std::vector<std::string> ablationNames = {
     "ablation-ranl", "ablation-design-depth",
@@ -391,6 +411,8 @@ paperCampaign(const std::string &name)
         return makeFig10();
     if (name == "figD_dstall")
         return makeFigDDstall();
+    if (name == "figID_interaction")
+        return makeFigIDInteraction();
     if (name == "ablation-ranl")
         return makeAblationRanl();
     if (name == "ablation-design-depth")

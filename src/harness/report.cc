@@ -80,6 +80,24 @@ writeReport(const SimResult &result, std::ostream &os)
         t.addRow({"  squashed",
                   TablePrinter::num(result.dSquashedPrefetches)});
     }
+    if (result.arbNl.any() || result.arbCghc.any() ||
+        result.arbDpf.any()) {
+        t.addRule();
+        const auto arb_rows = [&t](const char *name,
+                                   const ArbiterBreakdown &b) {
+            if (!b.any())
+                return;
+            t.addRow({std::string("arbiter[") + name + "] issued",
+                      TablePrinter::num(b.issued)});
+            t.addRow({"  deferred", TablePrinter::num(b.deferred)});
+            t.addRow({"  dropped", TablePrinter::num(b.dropped)});
+            t.addRow({"  duplicate-merged",
+                      TablePrinter::num(b.duplicateMerged)});
+        };
+        arb_rows("NL", result.arbNl);
+        arb_rows("CGHC", result.arbCghc);
+        arb_rows("D", result.arbDpf);
+    }
     if (result.cghcAccesses > 0) {
         t.addRow({"CGHC accesses",
                   TablePrinter::num(result.cghcAccesses)});
@@ -128,6 +146,38 @@ toJson(const PrefetchBreakdown &breakdown)
     return j;
 }
 
+namespace
+{
+
+Json
+arbToJson(const ArbiterBreakdown &breakdown)
+{
+    Json j = Json::object();
+    j.set("issued", breakdown.issued);
+    j.set("deferred", breakdown.deferred);
+    j.set("dropped", breakdown.dropped);
+    j.set("duplicate_merged", breakdown.duplicateMerged);
+    return j;
+}
+
+// Absent in artifacts written before the arbiter existed; default to
+// all-zero so old run directories keep parsing.
+ArbiterBreakdown
+arbFromJson(const Json &parent, std::string_view key)
+{
+    ArbiterBreakdown b;
+    const Json *j = parent.find(key);
+    if (j == nullptr)
+        return b;
+    b.issued = j->at("issued").asUint();
+    b.deferred = j->at("deferred").asUint();
+    b.dropped = j->at("dropped").asUint();
+    b.duplicateMerged = j->at("duplicate_merged").asUint();
+    return b;
+}
+
+} // namespace
+
 Json
 toJson(const SimResult &result)
 {
@@ -146,6 +196,9 @@ toJson(const SimResult &result)
     j.set("dpf", toJson(result.dpf));
     j.set("squashed_prefetches", result.squashedPrefetches);
     j.set("d_squashed_prefetches", result.dSquashedPrefetches);
+    j.set("arb_nl", arbToJson(result.arbNl));
+    j.set("arb_cghc", arbToJson(result.arbCghc));
+    j.set("arb_dpf", arbToJson(result.arbDpf));
     j.set("bus_lines", result.busLines);
     j.set("branch_mispredicts", result.branchMispredicts);
     j.set("cghc_accesses", result.cghcAccesses);
@@ -186,6 +239,9 @@ simResultFromJson(const Json &json)
     r.squashedPrefetches = json.at("squashed_prefetches").asUint();
     r.dSquashedPrefetches =
         json.at("d_squashed_prefetches").asUint();
+    r.arbNl = arbFromJson(json, "arb_nl");
+    r.arbCghc = arbFromJson(json, "arb_cghc");
+    r.arbDpf = arbFromJson(json, "arb_dpf");
     r.busLines = json.at("bus_lines").asUint();
     r.branchMispredicts = json.at("branch_mispredicts").asUint();
     r.cghcAccesses = json.at("cghc_accesses").asUint();

@@ -102,6 +102,15 @@ SimConfig::withDPrefetch(DataPrefetchKind kind)
     return c;
 }
 
+SimConfig
+SimConfig::withIPlusD(DataPrefetchKind dkind, bool throttled)
+{
+    SimConfig c = withCgp(LayoutKind::PettisHansen, 4);
+    c.dprefetch.kind = dkind;
+    c.mem.arbiter.enabled = throttled;
+    return c;
+}
+
 std::string
 SimConfig::describe() const
 {
@@ -131,6 +140,8 @@ SimConfig::describe() const
         s += std::string("+D-") +
             dataPrefetchKindName(dprefetch.kind);
     }
+    if (mem.arbiter.enabled)
+        s += "+arb";
     return s;
 }
 

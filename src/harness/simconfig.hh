@@ -73,6 +73,16 @@ struct SimConfig
     /** O5 binary, no I-prefetch, the given D-prefetch engine —
      *  isolates the data side for the figD_dstall campaign. */
     static SimConfig withDPrefetch(DataPrefetchKind kind);
+    /**
+     * The combined axis: I-side CGP_4 on the OM binary plus the
+     * given D-side engine, both competing for the shared L2 port.
+     * With @p throttled the shared prefetch arbiter is enabled
+     * (accuracy-gated throttling, demand priority, duplicate
+     * filtering — knobs in mem.arbiter); without it the engines
+     * fire directly as in the isolated figures.
+     */
+    static SimConfig withIPlusD(DataPrefetchKind dkind,
+                                bool throttled);
     /// @}
 
     /** Bar label in the paper's style ("O5+OM+CGP_4"). */

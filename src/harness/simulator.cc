@@ -6,6 +6,7 @@
 #include "dprefetch/factory.hh"
 #include "dprefetch/failsoft.hh"
 #include "mem/hierarchy.hh"
+#include "mem/pfarbiter.hh"
 #include "prefetch/cgp.hh"
 #include "prefetch/failsoft.hh"
 #include "prefetch/nextline.hh"
@@ -158,6 +159,20 @@ runSimulation(const Workload &workload, const SimConfig &config)
     r.dpf.useless = l1d.useless(AccessSource::DataPrefetch);
     r.squashedPrefetches = l1i.squashedPrefetches();
     r.dSquashedPrefetches = l1d.squashedPrefetches();
+    if (mem.arbiter() != nullptr) {
+        const PrefetchArbiter &arb = *mem.arbiter();
+        const auto grab = [&arb](AccessSource src) {
+            ArbiterBreakdown b;
+            b.issued = arb.issued(src);
+            b.deferred = arb.deferred(src);
+            b.dropped = arb.dropped(src);
+            b.duplicateMerged = arb.duplicateMerged(src);
+            return b;
+        };
+        r.arbNl = grab(AccessSource::PrefetchNL);
+        r.arbCghc = grab(AccessSource::PrefetchCGHC);
+        r.arbDpf = grab(AccessSource::DataPrefetch);
+    }
     r.busLines = mem.port().requests();
 
     r.branchMispredicts = core.branchUnit().mispredicts();

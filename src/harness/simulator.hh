@@ -44,6 +44,31 @@ struct PrefetchBreakdown
     }
 };
 
+/** Per-engine arbiter accounting (shared L2-port arbitration). */
+struct ArbiterBreakdown
+{
+    std::uint64_t issued = 0;    ///< admitted and sent to the cache
+    std::uint64_t deferred = 0;  ///< queued behind demand traffic
+    std::uint64_t dropped = 0;   ///< duplicate-filtered, gated, or
+                                 ///< overflowed/stale
+    std::uint64_t duplicateMerged = 0; ///< merged with a pending or
+                                       ///< already-covered request
+
+    bool
+    any() const
+    {
+        return issued + deferred + dropped + duplicateMerged != 0;
+    }
+
+    friend bool
+    operator==(const ArbiterBreakdown &a, const ArbiterBreakdown &b)
+    {
+        return a.issued == b.issued && a.deferred == b.deferred &&
+            a.dropped == b.dropped &&
+            a.duplicateMerged == b.duplicateMerged;
+    }
+};
+
 struct SimResult
 {
     std::string workload;
@@ -63,6 +88,13 @@ struct SimResult
     PrefetchBreakdown dpf;  ///< data-prefetch engine (D-side)
     std::uint64_t squashedPrefetches = 0;  ///< L1-I squashes
     std::uint64_t dSquashedPrefetches = 0; ///< L1-D squashes
+
+    /// @{ Shared-port arbitration, per engine (all zero when the
+    /// arbiter is disabled).
+    ArbiterBreakdown arbNl;
+    ArbiterBreakdown arbCghc;
+    ArbiterBreakdown arbDpf;
+    /// @}
 
     /** L2->L1 lines moved (demand fills + prefetch fills). */
     std::uint64_t busLines = 0;
@@ -114,6 +146,8 @@ struct SimResult
             a.cghc == b.cghc && a.dpf == b.dpf &&
             a.squashedPrefetches == b.squashedPrefetches &&
             a.dSquashedPrefetches == b.dSquashedPrefetches &&
+            a.arbNl == b.arbNl && a.arbCghc == b.arbCghc &&
+            a.arbDpf == b.arbDpf &&
             a.busLines == b.busLines &&
             a.branchMispredicts == b.branchMispredicts &&
             a.cghcAccesses == b.cghcAccesses &&

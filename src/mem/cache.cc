@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/pfarbiter.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -95,6 +96,20 @@ Cache::find(Addr line_addr)
     return nullptr;
 }
 
+const Cache::Line *
+Cache::find(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->find(line_addr);
+}
+
+bool
+Cache::linePresentOrInflight(Addr addr) const
+{
+    const Addr line_addr = lineAlign(addr);
+    return find(line_addr) != nullptr ||
+        inflight_.find(line_addr) != inflight_.end();
+}
+
 Cycle
 Cache::forwardMiss(Addr line_addr, Cycle now, AccessSource source)
 {
@@ -127,14 +142,19 @@ Cache::access(Addr addr, Cycle now, AccessSource source, bool is_write)
         if (l->prefetched && !l->referenced) {
             ++prefHits_[static_cast<std::size_t>(l->source)];
             l->referenced = true;
+            if (arbiter_ != nullptr)
+                arbiter_->recordOutcome(l->source, true);
         }
         return res;
     }
 
     if (auto it = inflight_.find(line_addr); it != inflight_.end()) {
         Mshr &m = it->second;
-        if (m.isPrefetch && !m.demanded)
+        if (m.isPrefetch && !m.demanded) {
             ++delayedHits_[static_cast<std::size_t>(m.source)];
+            if (arbiter_ != nullptr)
+                arbiter_->recordOutcome(m.source, true);
+        }
         m.demanded = true;
         res.delayedHit = true;
         res.readyCycle = std::max(m.readyCycle,
@@ -157,11 +177,41 @@ bool
 Cache::prefetch(Addr addr, Cycle now, AccessSource source)
 {
     const Addr line_addr = lineAlign(addr);
+    if (arbiter_ != nullptr) {
+        switch (arbiter_->request(*this, line_addr, source, now)) {
+          case PrefetchArbiter::Decision::Drop:
+          case PrefetchArbiter::Decision::Defer:
+          case PrefetchArbiter::Decision::Merge:
+            return false;
+          case PrefetchArbiter::Decision::Admit:
+            break;
+        }
+    }
     if (find(line_addr) != nullptr ||
         inflight_.find(line_addr) != inflight_.end()) {
         ++squashed_;
         return false;
     }
+    issuePrefetch(line_addr, now, source);
+    if (arbiter_ != nullptr)
+        arbiter_->noteIssued(source);
+    return true;
+}
+
+bool
+Cache::issueArbitrated(Addr line_addr, Cycle now, AccessSource source)
+{
+    if (find(line_addr) != nullptr ||
+        inflight_.find(line_addr) != inflight_.end()) {
+        return false;
+    }
+    issuePrefetch(line_addr, now, source);
+    return true;
+}
+
+Cycle
+Cache::issuePrefetch(Addr line_addr, Cycle now, AccessSource source)
+{
     Mshr m;
     m.readyCycle = forwardMiss(line_addr, now, source);
     m.isPrefetch = true;
@@ -169,7 +219,7 @@ Cache::prefetch(Addr addr, Cycle now, AccessSource source)
     m.source = source;
     inflight_.emplace(line_addr, m);
     ++prefIssued_[static_cast<std::size_t>(source)];
-    return true;
+    return m.readyCycle;
 }
 
 void
@@ -189,8 +239,11 @@ Cache::insert(Addr line_addr, const Mshr &mshr)
     Line &v = lines_[victim];
     if (v.valid) {
         ++evictions_;
-        if (v.prefetched && !v.referenced)
+        if (v.prefetched && !v.referenced) {
             ++useless_[static_cast<std::size_t>(v.source)];
+            if (arbiter_ != nullptr)
+                arbiter_->recordOutcome(v.source, false);
+        }
     }
     ++tick_;
     v.valid = true;

@@ -33,6 +33,8 @@
 namespace cgp
 {
 
+class PrefetchArbiter;
+
 /** Who generated a memory-system request (for attribution stats).
  *  I-side and D-side sources are distinct so prefetch accuracy is
  *  never conflated across the two in SimResult. */
@@ -95,6 +97,20 @@ class MemoryPort
     /** Total requests that crossed this port (bus traffic in lines). */
     std::uint64_t requests() const { return requests_; }
 
+    /**
+     * Would a request arriving at @p now have to wait behind the
+     * backlog (i.e. not start at now + 1)?  Pure query — the port
+     * occupancy the arbiter's demand-priority gate keys on.
+     */
+    bool
+    wouldDelay(Cycle now) const
+    {
+        const Cycle start = now + 1;
+        if (lastStart_ > start)
+            return true;
+        return lastStart_ == start && startedThisCycle_ >= bandwidth;
+    }
+
   private:
     Cycle lastStart_ = 0;
     unsigned startedThisCycle_ = 0;
@@ -132,10 +148,31 @@ class Cache
 
     /**
      * Prefetch @p addr into this cache.  Squashed (no effect, no L2
-     * traffic) when the line is present or already in flight.
+     * traffic) when the line is present or already in flight.  With
+     * an arbiter installed the request is gated first: dropped,
+     * deferred, or merged requests never reach the presence check.
      * @return true if a prefetch request was actually issued.
      */
     bool prefetch(Addr addr, Cycle now, AccessSource source);
+
+    /**
+     * Install the shared prefetch arbiter (nullptr = direct issue).
+     * With an arbiter, §5.6 classification outcomes are also fed
+     * back to it as accuracy signals.
+     */
+    void setArbiter(PrefetchArbiter *arbiter) { arbiter_ = arbiter; }
+
+    /**
+     * Arbiter drain path: issue a previously-deferred prefetch
+     * without re-entering the admission gate.  Returns false when
+     * the line became present/in-flight meanwhile (not counted as a
+     * squash — the arbiter accounts it as duplicate-merged).
+     */
+    bool issueArbitrated(Addr line_addr, Cycle now,
+                         AccessSource source);
+
+    /** Pure query: is @p addr's line in the array or an MSHR? */
+    bool linePresentOrInflight(Addr addr) const;
 
     /** Move fills whose ready cycle has passed into the array. */
     void tick(Cycle now);
@@ -198,10 +235,16 @@ class Cache
     void insert(Addr line_addr, const Mshr &mshr);
 
     Line *find(Addr line_addr);
+    const Line *find(Addr line_addr) const;
+
+    /** Unconditional issue (presence already checked). */
+    Cycle issuePrefetch(Addr line_addr, Cycle now,
+                        AccessSource source);
 
     CacheConfig config_;
     Cache *next_;
     MemoryPort *port_;
+    PrefetchArbiter *arbiter_ = nullptr;
 
     std::uint32_t sets_;
     std::vector<Line> lines_;

@@ -1,7 +1,9 @@
 /**
  * @file
  * Convenience bundle wiring the Table 1 memory system: split L1 I/D,
- * one shared FIFO port, and a unified L2 (memory-backed).
+ * one shared FIFO port, and a unified L2 (memory-backed) — plus,
+ * when enabled, the shared prefetch arbiter that coordinates I-side
+ * and D-side engines on that port (see mem/pfarbiter.hh).
  */
 
 #ifndef CGP_MEM_HIERARCHY_HH
@@ -10,6 +12,7 @@
 #include <memory>
 
 #include "mem/cache.hh"
+#include "mem/pfarbiter.hh"
 
 namespace cgp
 {
@@ -19,6 +22,11 @@ struct HierarchyConfig
     CacheConfig l1i{"l1i", 32 * 1024, 2, 32, 1};
     CacheConfig l1d{"l1d", 32 * 1024, 2, 32, 1};
     CacheConfig l2{"l2", 1024 * 1024, 4, 32, 16};
+
+    /** Shared I+D prefetch arbitration on the L2 port; disabled by
+     *  default, in which case behaviour is bit-identical to the
+     *  arbiter-less hierarchy. */
+    PfArbiterConfig arbiter;
 };
 
 class MemoryHierarchy
@@ -29,12 +37,22 @@ class MemoryHierarchy
           l1i_(config.l1i, &l2_, &port_),
           l1d_(config.l1d, &l2_, &port_)
     {
+        if (config.arbiter.enabled) {
+            arbiter_ = std::make_unique<PrefetchArbiter>(
+                port_, config.arbiter);
+            l1i_.setArbiter(arbiter_.get());
+            l1d_.setArbiter(arbiter_.get());
+        }
     }
 
     Cache &l1i() { return l1i_; }
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
     MemoryPort &port() { return port_; }
+
+    /** Active arbiter, or nullptr when arbitration is disabled. */
+    PrefetchArbiter *arbiter() { return arbiter_.get(); }
+    const PrefetchArbiter *arbiter() const { return arbiter_.get(); }
 
     void
     tick(Cycle now)
@@ -44,9 +62,33 @@ class MemoryHierarchy
         l2_.tick(now);
     }
 
+    /**
+     * End-of-cycle drain of arbiter-deferred prefetches: the core
+     * calls this after all demand traffic of the cycle has claimed
+     * its port slots, which is what gives demand requests priority.
+     * No-op without an arbiter.
+     */
+    void
+    drainDeferred(Cycle now)
+    {
+        if (arbiter_ != nullptr)
+            arbiter_->drain(now);
+    }
+
+    /**
+     * End-of-run accounting.  Idempotent: the simulator's teardown
+     * and any explicit per-level finalize (the L2 finalize is also
+     * reachable directly) must not double-classify prefetched lines
+     * or double-drop queued arbiter entries.
+     */
     void
     finalize()
     {
+        if (finalized_)
+            return;
+        finalized_ = true;
+        if (arbiter_ != nullptr)
+            arbiter_->finalize();
         // Each level is finalized exactly once, including the L2:
         // still-unreferenced L2 prefetched lines must be classified
         // in end-of-run accounting too.
@@ -57,9 +99,11 @@ class MemoryHierarchy
 
   private:
     MemoryPort port_;
+    std::unique_ptr<PrefetchArbiter> arbiter_;
     Cache l2_;
     Cache l1i_;
     Cache l1d_;
+    bool finalized_ = false;
 };
 
 } // namespace cgp

@@ -1,0 +1,235 @@
+#include "mem/pfarbiter.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace cgp
+{
+
+PrefetchArbiter::PrefetchArbiter(MemoryPort &port,
+                                 const PfArbiterConfig &config)
+    : port_(port), config_(config)
+{
+    cgp_assert(config_.queueDepth > 0, "arbiter queue needs depth");
+    cgp_assert(config_.creditsPerEngine > 0,
+               "arbiter needs per-engine credits");
+    cgp_assert(isPowerOfTwo(config_.filterEntries),
+               "filter size must be a power of two");
+    cgp_assert(config_.probePeriod > 0, "probe period must be > 0");
+    cgp_assert(config_.accuracyWindow >= config_.minSamples,
+               "accuracy window smaller than its sample floor");
+    cgp_assert(config_.drainPerCycle > 0, "drain rate must be > 0");
+    for (Engine &e : engines_)
+        e.filter.resize(config_.filterEntries);
+}
+
+PrefetchArbiter::Engine &
+PrefetchArbiter::engineOf(AccessSource source)
+{
+    return engines_[static_cast<std::size_t>(source)];
+}
+
+const PrefetchArbiter::Engine &
+PrefetchArbiter::engineOf(AccessSource source) const
+{
+    return engines_[static_cast<std::size_t>(source)];
+}
+
+std::size_t
+PrefetchArbiter::filterIndex(Addr line) const
+{
+    // Lines are >= 32B aligned; spread neighbouring lines across the
+    // filter with a cheap multiplicative hash.
+    const std::uint64_t h = (line >> 5) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(
+        (h >> 13) & (config_.filterEntries - 1));
+}
+
+bool
+PrefetchArbiter::duplicateInFilter(Engine &e, Addr line,
+                                   Cycle now) const
+{
+    const FilterSlot &slot = e.filter[filterIndex(line)];
+    return slot.line == line && now >= slot.at &&
+        now - slot.at <= config_.filterWindow;
+}
+
+void
+PrefetchArbiter::rememberInFilter(Engine &e, Addr line, Cycle now)
+{
+    FilterSlot &slot = e.filter[filterIndex(line)];
+    slot.line = line;
+    slot.at = now;
+}
+
+double
+PrefetchArbiter::windowAccuracy(AccessSource source) const
+{
+    const Engine &e = engineOf(source);
+    const std::uint64_t classified = e.windowUseful + e.windowUseless;
+    if (classified < config_.minSamples)
+        return 1.0; // cold: assume accurate until proven otherwise
+    return static_cast<double>(e.windowUseful) /
+        static_cast<double>(classified);
+}
+
+bool
+PrefetchArbiter::gated(AccessSource source) const
+{
+    return windowAccuracy(source) < config_.lowAccuracy;
+}
+
+PrefetchArbiter::Decision
+PrefetchArbiter::request(Cache &cache, Addr line_addr,
+                         AccessSource source, Cycle now)
+{
+    Engine &e = engineOf(source);
+
+    // 1. Recent-line filter: the engine asked for this exact line
+    // moments ago — the canonical squash-producing duplicate.
+    if (duplicateInFilter(e, line_addr, now)) {
+        ++e.dropped;
+        return Decision::Drop;
+    }
+
+    // 2. A request for this line is already waiting in the queue
+    // (possibly from the other side): merge instead of queueing twice.
+    if (queued_.count({&cache, line_addr}) != 0) {
+        ++e.duplicateMerged;
+        return Decision::Merge;
+    }
+
+    // 3. Accuracy gate: recently-inaccurate engines are throttled to
+    // one probe in `probePeriod` so they can still re-train.
+    if (gated(source)) {
+        if (++e.probeCounter % config_.probePeriod != 0) {
+            ++e.dropped;
+            return Decision::Drop;
+        }
+    }
+
+    // 4. Demand priority: when the FIFO port has no free slot this
+    // cycle, defer into the bounded queue instead of lengthening the
+    // backlog ahead of future demand misses.
+    if (port_.wouldDelay(now)) {
+        if (queue_.size() >= config_.queueDepth ||
+            e.queued >= config_.creditsPerEngine) {
+            ++e.dropped;
+            return Decision::Drop;
+        }
+        queue_.push_back(Pending{&cache, line_addr, source, now});
+        queued_.insert({&cache, line_addr});
+        ++e.queued;
+        ++e.deferred;
+        rememberInFilter(e, line_addr, now);
+        return Decision::Defer;
+    }
+
+    // 5. Admit: the cache performs its presence check and issues;
+    // noteIssued() completes the accounting.
+    rememberInFilter(e, line_addr, now);
+    return Decision::Admit;
+}
+
+void
+PrefetchArbiter::noteIssued(AccessSource source)
+{
+    ++engineOf(source).issued;
+}
+
+void
+PrefetchArbiter::recordOutcome(AccessSource source, bool useful)
+{
+    Engine &e = engineOf(source);
+    if (useful)
+        ++e.windowUseful;
+    else
+        ++e.windowUseless;
+    // Sliding window by periodic halving: old outcomes fade, recent
+    // behaviour dominates — and the arithmetic stays deterministic.
+    if (e.windowUseful + e.windowUseless >= config_.accuracyWindow) {
+        e.windowUseful /= 2;
+        e.windowUseless /= 2;
+    }
+}
+
+void
+PrefetchArbiter::drain(Cycle now)
+{
+    unsigned issued_now = 0;
+    while (!queue_.empty() && issued_now < config_.drainPerCycle) {
+        Pending p = queue_.front();
+        Engine &e = engineOf(p.source);
+
+        // Stale entries cost nothing to discard.
+        if (now - p.enqueued > config_.maxDeferCycles) {
+            queue_.pop_front();
+            queued_.erase({p.cache, p.line});
+            cgp_assert(e.queued > 0, "arbiter credit underflow");
+            --e.queued;
+            ++e.dropped;
+            continue;
+        }
+
+        if (port_.wouldDelay(now))
+            break; // port still saturated; keep waiting
+
+        queue_.pop_front();
+        queued_.erase({p.cache, p.line});
+        cgp_assert(e.queued > 0, "arbiter credit underflow");
+        --e.queued;
+
+        // Redundant by the time its turn came: a demand miss or an
+        // earlier prefetch already covers the line.
+        if (p.cache->linePresentOrInflight(p.line)) {
+            ++e.duplicateMerged;
+            continue;
+        }
+        if (p.cache->issueArbitrated(p.line, now, p.source)) {
+            ++e.issued;
+            ++issued_now;
+        } else {
+            ++e.duplicateMerged; // raced with a same-cycle fill
+        }
+    }
+}
+
+void
+PrefetchArbiter::finalize()
+{
+    while (!queue_.empty()) {
+        const Pending &p = queue_.front();
+        Engine &e = engineOf(p.source);
+        queued_.erase({p.cache, p.line});
+        cgp_assert(e.queued > 0, "arbiter credit underflow");
+        --e.queued;
+        ++e.dropped;
+        queue_.pop_front();
+    }
+}
+
+std::uint64_t
+PrefetchArbiter::issued(AccessSource source) const
+{
+    return engineOf(source).issued;
+}
+
+std::uint64_t
+PrefetchArbiter::deferred(AccessSource source) const
+{
+    return engineOf(source).deferred;
+}
+
+std::uint64_t
+PrefetchArbiter::dropped(AccessSource source) const
+{
+    return engineOf(source).dropped;
+}
+
+std::uint64_t
+PrefetchArbiter::duplicateMerged(AccessSource source) const
+{
+    return engineOf(source).duplicateMerged;
+}
+
+} // namespace cgp

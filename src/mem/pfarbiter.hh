@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unified I+D prefetch arbitration on the shared L2 port.
+ *
+ * The paper's memory system services L1 misses and prefetches through
+ * one FIFO port with *no* demand priority (§3.3) — which is exactly
+ * why §5.6 classifies prefetches so carefully: a burst of useless or
+ * duplicate prefetches genuinely delays demand misses.  Once the
+ * I-side (CGP/NL) and D-side (stride/correlation/semantic) engines
+ * run together, they compete for that port, and figD-era data shows
+ * the squash counters saturating it with redundant requests.
+ *
+ * The PrefetchArbiter sits between every prefetch engine and the
+ * caches and coordinates the two sides, in the spirit of
+ * feedback-directed prefetching (Srinath et al., HPCA 2007):
+ *
+ *  - a per-engine *recent-line filter* kills re-requests of a line
+ *    the same engine asked for within the last few hundred cycles —
+ *    the dominant source of squashed prefetches — before they spend
+ *    a cache lookup;
+ *  - a bounded *issue queue* gives demand traffic priority: when the
+ *    FIFO port is occupied this cycle, prefetches are deferred and
+ *    drained at end-of-cycle (after all demand requests have claimed
+ *    their port slots), merged if the line became redundant while
+ *    waiting, and dropped when they go stale;
+ *  - an *accuracy gate* tracks each engine's recent
+ *    useful/(useful+useless) over a sliding window (fed back from the
+ *    §5.6 classification points in the cache) and throttles engines
+ *    whose recent accuracy is poor, admitting only an occasional
+ *    probe request so the engine can re-train;
+ *  - per-engine *credits* bound how much of the queue any one engine
+ *    may occupy, so a misbehaving engine cannot starve the other side.
+ *
+ * Engines are identified by their AccessSource, so I-side and D-side
+ * accounting (issued / deferred / dropped / duplicate-merged) never
+ * conflates — the same property the cache's §5.6 counters have.
+ * When no arbiter is installed the caches behave exactly as before;
+ * every pre-arbiter configuration is bit-identical.
+ */
+
+#ifndef CGP_MEM_PFARBITER_HH
+#define CGP_MEM_PFARBITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "util/types.hh"
+
+namespace cgp
+{
+
+struct PfArbiterConfig
+{
+    /** Master switch; disabled means no arbiter is constructed and
+     *  the caches issue prefetches exactly as without one. */
+    bool enabled = false;
+
+    /** Bounded issue queue shared by all engines. */
+    unsigned queueDepth = 32;
+
+    /** Max queue entries any single engine may hold. */
+    unsigned creditsPerEngine = 12;
+
+    /** Classified prefetches per engine before the sliding window
+     *  ages (both window counters are halved). */
+    unsigned accuracyWindow = 256;
+
+    /** Classified prefetches required before the gate may throttle
+     *  an engine at all (cold engines run unthrottled to train). */
+    unsigned minSamples = 32;
+
+    /** Recent accuracy below this drops the engine's requests,
+     *  keeping one probe in `probePeriod` to allow re-training. */
+    double lowAccuracy = 0.20;
+
+    /** One request in this many is admitted from a gated engine. */
+    unsigned probePeriod = 8;
+
+    /** Deferred entries older than this are dropped at drain. */
+    Cycle maxDeferCycles = 64;
+
+    /** Per-engine recent-line filter slots (power of two). */
+    unsigned filterEntries = 64;
+
+    /** A line re-requested by the same engine within this many
+     *  cycles is dropped as a duplicate. */
+    Cycle filterWindow = 128;
+
+    /** Deferred prefetches issued per drain call (one per cycle). */
+    unsigned drainPerCycle = 2;
+};
+
+/**
+ * Shared prefetch-arbitration layer in front of the L2 FIFO port.
+ * One instance serves both L1 caches; engine attribution rides the
+ * AccessSource of each request.
+ */
+class PrefetchArbiter
+{
+  public:
+    enum class Decision : std::uint8_t
+    {
+        Admit, ///< issue now (caller proceeds into the cache)
+        Defer, ///< queued; the drain pass will issue it later
+        Drop,  ///< rejected (duplicate filter, gate, or overflow)
+        Merge  ///< matched a request already waiting in the queue
+    };
+
+    PrefetchArbiter(MemoryPort &port, const PfArbiterConfig &config);
+
+    /**
+     * Gate one prefetch request for @p line_addr (already
+     * line-aligned by the caller) from engine @p source targeting
+     * @p cache.  Only Decision::Admit lets the caller continue; all
+     * other outcomes are fully accounted here.
+     */
+    Decision request(Cache &cache, Addr line_addr, AccessSource source,
+                     Cycle now);
+
+    /** An admitted request was actually issued by the cache (it was
+     *  not squashed on the presence check). */
+    void noteIssued(AccessSource source);
+
+    /**
+     * §5.6 classification feedback from the caches: a prefetched
+     * line was demanded (useful) or evicted untouched (useless).
+     * Drives the sliding-window accuracy of the issuing engine.
+     */
+    void recordOutcome(AccessSource source, bool useful);
+
+    /**
+     * End-of-cycle drain: issue deferred prefetches while the port
+     * has a free slot this cycle, dropping stale entries and merging
+     * those made redundant while they waited.  Called by the core
+     * after all demand traffic of the cycle has claimed the port.
+     */
+    void drain(Cycle now);
+
+    /** End of run: account still-queued entries as dropped. */
+    void finalize();
+
+    /// @{ Per-engine counters for SimResult.
+    std::uint64_t issued(AccessSource source) const;
+    std::uint64_t deferred(AccessSource source) const;
+    std::uint64_t dropped(AccessSource source) const;
+    std::uint64_t duplicateMerged(AccessSource source) const;
+    /// @}
+
+    /// @{ Introspection for tests.
+    std::size_t queueSize() const { return queue_.size(); }
+    /** Recent accuracy of @p source (1.0 while under minSamples). */
+    double windowAccuracy(AccessSource source) const;
+    /** True when the accuracy gate currently throttles @p source. */
+    bool gated(AccessSource source) const;
+    /// @}
+
+  private:
+    static constexpr std::size_t numSources =
+        static_cast<std::size_t>(AccessSource::NumSources);
+
+    struct FilterSlot
+    {
+        Addr line = invalidAddr;
+        Cycle at = 0;
+    };
+
+    struct Engine
+    {
+        std::uint64_t windowUseful = 0;
+        std::uint64_t windowUseless = 0;
+        std::uint64_t probeCounter = 0;
+        unsigned queued = 0; ///< credits in use
+        std::uint64_t issued = 0;
+        std::uint64_t deferred = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicateMerged = 0;
+        std::vector<FilterSlot> filter;
+    };
+
+    struct Pending
+    {
+        Cache *cache = nullptr;
+        Addr line = invalidAddr;
+        AccessSource source = AccessSource::PrefetchNL;
+        Cycle enqueued = 0;
+    };
+
+    Engine &engineOf(AccessSource source);
+    const Engine &engineOf(AccessSource source) const;
+    std::size_t filterIndex(Addr line) const;
+    bool duplicateInFilter(Engine &e, Addr line, Cycle now) const;
+    void rememberInFilter(Engine &e, Addr line, Cycle now);
+
+    MemoryPort &port_;
+    PfArbiterConfig config_;
+    Engine engines_[numSources];
+    std::deque<Pending> queue_;
+    /** Dedup index over the queue: one waiter per (cache, line). */
+    std::set<std::pair<const Cache *, Addr>> queued_;
+};
+
+} // namespace cgp
+
+#endif // CGP_MEM_PFARBITER_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the shared I+D prefetch arbiter (mem/pfarbiter.hh):
+ * recent-line filtering, demand-priority deferral and drain, the
+ * accuracy gate, per-engine credits, stale-entry disposal, and the
+ * per-engine accounting invariants SimResult depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/pfarbiter.hh"
+#include "util/rng.hh"
+
+namespace cgp
+{
+namespace
+{
+
+constexpr auto kFetch = AccessSource::DemandFetch;
+constexpr auto kLoad = AccessSource::DemandLoad;
+constexpr auto kNL = AccessSource::PrefetchNL;
+constexpr auto kCGHC = AccessSource::PrefetchCGHC;
+constexpr auto kD = AccessSource::DataPrefetch;
+
+HierarchyConfig
+arbConfig()
+{
+    HierarchyConfig cfg;
+    cfg.arbiter.enabled = true;
+    return cfg;
+}
+
+/** Occupy both FIFO-port slots of @p now so wouldDelay(now) holds. */
+void
+saturatePort(MemoryPort &port, Cycle now)
+{
+    for (unsigned i = 0; i < MemoryPort::bandwidth; ++i)
+        port.request(now);
+    ASSERT_TRUE(port.wouldDelay(now));
+}
+
+TEST(Arbiter, DisabledByDefault)
+{
+    MemoryHierarchy mem;
+    EXPECT_EQ(mem.arbiter(), nullptr);
+    // Without an arbiter the legacy squash path is untouched.
+    EXPECT_TRUE(mem.l1i().prefetch(0x2000, 1, kNL));
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 2, kNL));
+    EXPECT_EQ(mem.l1i().squashedPrefetches(), 1u);
+}
+
+TEST(Arbiter, AdmitsOnFreePortAndCounts)
+{
+    MemoryHierarchy mem(arbConfig());
+    ASSERT_NE(mem.arbiter(), nullptr);
+    EXPECT_TRUE(mem.l1i().prefetch(0x2000, 1, kNL));
+    EXPECT_EQ(mem.arbiter()->issued(kNL), 1u);
+    EXPECT_EQ(mem.l1i().prefetchesIssued(kNL), 1u);
+    EXPECT_EQ(mem.arbiter()->deferred(kNL), 0u);
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 0u);
+}
+
+TEST(Arbiter, FilterDropsRecentSameLineRequest)
+{
+    MemoryHierarchy mem(arbConfig());
+    EXPECT_TRUE(mem.l1i().prefetch(0x2000, 1, kNL));
+    // Same engine, same line, moments later: killed by the filter
+    // before the presence check — no squash is charged.
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 2, kNL));
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 1u);
+    EXPECT_EQ(mem.l1i().squashedPrefetches(), 0u);
+
+    // The filter is per-engine: the other I-side engine passes it
+    // and reaches the presence check (squashed: fill in flight).
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 3, kCGHC));
+    EXPECT_EQ(mem.arbiter()->dropped(kCGHC), 0u);
+    EXPECT_EQ(mem.l1i().squashedPrefetches(), 1u);
+}
+
+TEST(Arbiter, FilterEntriesExpire)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.filterWindow = 16;
+    MemoryHierarchy mem(cfg);
+    EXPECT_TRUE(mem.l1i().prefetch(0x2000, 1, kNL));
+    // Past the window the filter forgets; the request reaches the
+    // cache again (and squashes on the still-inflight fill).
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 18, kNL));
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 0u);
+    EXPECT_EQ(mem.l1i().squashedPrefetches(), 1u);
+}
+
+TEST(Arbiter, DefersWhenPortBusyThenDrainIssues)
+{
+    MemoryHierarchy mem(arbConfig());
+    saturatePort(mem.port(), 5);
+
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    EXPECT_EQ(mem.arbiter()->deferred(kNL), 1u);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 1u);
+    EXPECT_EQ(mem.l1i().prefetchesIssued(kNL), 0u);
+
+    // Port still saturated this cycle: the entry keeps waiting.
+    mem.drainDeferred(5);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 1u);
+
+    // Next cycle a slot is free: the deferred prefetch issues.
+    mem.drainDeferred(6);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 0u);
+    EXPECT_EQ(mem.arbiter()->issued(kNL), 1u);
+    EXPECT_EQ(mem.l1i().prefetchesIssued(kNL), 1u);
+}
+
+TEST(Arbiter, QueuedLineMergesLaterRequests)
+{
+    MemoryHierarchy mem(arbConfig());
+    saturatePort(mem.port(), 5);
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    // The other engine asks for the very line already waiting: merge
+    // instead of queueing a second copy.
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kCGHC));
+    EXPECT_EQ(mem.arbiter()->duplicateMerged(kCGHC), 1u);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 1u);
+}
+
+TEST(Arbiter, CreditsBoundPerEngineQueueUse)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.creditsPerEngine = 2;
+    MemoryHierarchy mem(cfg);
+    saturatePort(mem.port(), 5);
+
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    EXPECT_FALSE(mem.l1i().prefetch(0x2040, 5, kNL));
+    EXPECT_EQ(mem.arbiter()->deferred(kNL), 2u);
+    // Credits exhausted: the third distinct line is dropped...
+    EXPECT_FALSE(mem.l1i().prefetch(0x2080, 5, kNL));
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 1u);
+    // ...but the other side still has credits of its own.
+    EXPECT_FALSE(mem.l1d().prefetch(0x8000, 5, kD));
+    EXPECT_EQ(mem.arbiter()->deferred(kD), 1u);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 3u);
+}
+
+TEST(Arbiter, QueueDepthBoundsTotalBacklog)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.queueDepth = 2;
+    cfg.arbiter.creditsPerEngine = 8;
+    MemoryHierarchy mem(cfg);
+    saturatePort(mem.port(), 5);
+
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    EXPECT_FALSE(mem.l1i().prefetch(0x2040, 5, kNL));
+    EXPECT_FALSE(mem.l1d().prefetch(0x8000, 5, kD));
+    EXPECT_EQ(mem.arbiter()->queueSize(), 2u);
+    EXPECT_EQ(mem.arbiter()->dropped(kD), 1u);
+}
+
+TEST(Arbiter, StaleDeferredEntriesAreDropped)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.maxDeferCycles = 10;
+    MemoryHierarchy mem(cfg);
+    saturatePort(mem.port(), 5);
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+
+    // Far past its sell-by date: discarded, never issued.
+    mem.drainDeferred(100);
+    EXPECT_EQ(mem.arbiter()->queueSize(), 0u);
+    EXPECT_EQ(mem.arbiter()->issued(kNL), 0u);
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 1u);
+}
+
+TEST(Arbiter, DrainMergesLinesCoveredWhileWaiting)
+{
+    MemoryHierarchy mem(arbConfig());
+    saturatePort(mem.port(), 5);
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    // A demand miss for the same line starts a fill while the
+    // prefetch waits in the queue.
+    mem.l1i().access(0x2000, 6, kFetch, false);
+    mem.drainDeferred(7);
+    EXPECT_EQ(mem.arbiter()->issued(kNL), 0u);
+    EXPECT_EQ(mem.arbiter()->duplicateMerged(kNL), 1u);
+}
+
+TEST(Arbiter, AccuracyGateThrottlesInaccurateEngine)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.minSamples = 4;
+    cfg.arbiter.accuracyWindow = 64;
+    cfg.arbiter.probePeriod = 4;
+    MemoryHierarchy mem(cfg);
+    PrefetchArbiter &arb = *mem.arbiter();
+
+    // Cold engines are presumed accurate.
+    EXPECT_DOUBLE_EQ(arb.windowAccuracy(kNL), 1.0);
+    EXPECT_FALSE(arb.gated(kNL));
+
+    for (int i = 0; i < 8; ++i)
+        arb.recordOutcome(kNL, false);
+    EXPECT_TRUE(arb.gated(kNL));
+    // Feedback never leaks across engines.
+    EXPECT_FALSE(arb.gated(kCGHC));
+    EXPECT_FALSE(arb.gated(kD));
+
+    // A gated engine still gets one probe in probePeriod requests.
+    unsigned admitted = 0;
+    Cycle now = 1;
+    for (int i = 0; i < 8; ++i) {
+        if (mem.l1i().prefetch(0x10000 + i * 64, now, kNL))
+            ++admitted;
+        ++now;
+        mem.tick(now);
+    }
+    EXPECT_EQ(admitted, 2u);
+    EXPECT_EQ(arb.dropped(kNL), 6u);
+
+    // Useful probes re-train the window and lift the gate.
+    for (int i = 0; i < 32; ++i)
+        arb.recordOutcome(kNL, true);
+    EXPECT_FALSE(arb.gated(kNL));
+}
+
+TEST(Arbiter, SlidingWindowForgetsOldOutcomes)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.minSamples = 4;
+    cfg.arbiter.accuracyWindow = 16;
+    MemoryHierarchy mem(cfg);
+    PrefetchArbiter &arb = *mem.arbiter();
+
+    // A long useless streak gates the engine...
+    for (int i = 0; i < 16; ++i)
+        arb.recordOutcome(kD, false);
+    EXPECT_TRUE(arb.gated(kD));
+    // ...but a recent accurate phase dominates after aging.
+    for (int i = 0; i < 24; ++i)
+        arb.recordOutcome(kD, true);
+    EXPECT_FALSE(arb.gated(kD));
+    EXPECT_GT(arb.windowAccuracy(kD), 0.5);
+}
+
+TEST(Arbiter, FinalizeDropsQueuedOnceOnly)
+{
+    MemoryHierarchy mem(arbConfig());
+    saturatePort(mem.port(), 5);
+    EXPECT_FALSE(mem.l1i().prefetch(0x2000, 5, kNL));
+    EXPECT_EQ(mem.arbiter()->queueSize(), 1u);
+
+    mem.finalize();
+    EXPECT_EQ(mem.arbiter()->queueSize(), 0u);
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 1u);
+
+    // Hierarchy finalize is idempotent: nothing double-accounts.
+    mem.finalize();
+    EXPECT_EQ(mem.arbiter()->dropped(kNL), 1u);
+}
+
+TEST(Arbiter, RandomStreamAccountingInvariants)
+{
+    HierarchyConfig cfg = arbConfig();
+    cfg.arbiter.filterWindow = 32;
+    MemoryHierarchy mem(cfg);
+    const PrefetchArbiter &arb = *mem.arbiter();
+
+    Rng rng(7);
+    Cycle now = 1;
+    std::uint64_t requests[3] = {0, 0, 0};
+    const AccessSource srcs[3] = {kNL, kCGHC, kD};
+    for (int i = 0; i < 20000; ++i) {
+        ++now;
+        mem.tick(now);
+        const Addr a = 0x400000 + (rng.next() & 0xffff);
+        const unsigned which =
+            static_cast<unsigned>(rng.next() % 4);
+        if (which == 3) {
+            mem.l1d().access(a, now, kLoad, false);
+        } else {
+            Cache &c = which == 2 ? mem.l1d() : mem.l1i();
+            c.prefetch(a, now, srcs[which]);
+            ++requests[which];
+        }
+        mem.drainDeferred(now);
+    }
+    mem.finalize();
+    EXPECT_EQ(arb.queueSize(), 0u);
+
+    for (int k = 0; k < 3; ++k) {
+        const AccessSource s = srcs[k];
+        const Cache &c = k == 2 ? mem.l1d() : mem.l1i();
+        // The arbiter's issue count is exactly what the cache issued
+        // on this engine's behalf.
+        EXPECT_EQ(arb.issued(s), c.prefetchesIssued(s));
+        // Every issued prefetch is classified exactly once.
+        EXPECT_EQ(c.prefetchesIssued(s),
+                  c.prefHits(s) + c.delayedHits(s) + c.useless(s));
+    }
+    // Every request the engines made is accounted exactly once:
+    // issued, dropped, merged, or squashed on the presence check.
+    EXPECT_EQ(arb.issued(kNL) + arb.dropped(kNL) +
+                  arb.duplicateMerged(kNL) + arb.issued(kCGHC) +
+                  arb.dropped(kCGHC) + arb.duplicateMerged(kCGHC) +
+                  mem.l1i().squashedPrefetches(),
+              requests[0] + requests[1]);
+    EXPECT_EQ(arb.issued(kD) + arb.dropped(kD) +
+                  arb.duplicateMerged(kD) +
+                  mem.l1d().squashedPrefetches(),
+              requests[2]);
+}
+
+} // namespace
+} // namespace cgp

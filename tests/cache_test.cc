@@ -215,6 +215,67 @@ TEST(Hierarchy, LatenciesMatchTable1)
     EXPECT_GE(r3.readyCycle, now + 16);
 }
 
+TEST(Hierarchy, IAndDClassificationDoNotCrossContaminate)
+{
+    // §5.6 counters must stay per-source when both prefetchers run
+    // concurrently — with and without the shared arbiter installed.
+    for (const bool with_arbiter : {false, true}) {
+        HierarchyConfig cfg;
+        cfg.arbiter.enabled = with_arbiter;
+        MemoryHierarchy mem(cfg);
+        constexpr auto kD = AccessSource::DataPrefetch;
+
+        // I-side: a useful CGHC prefetch and a useless NL prefetch;
+        // D-side: a useful data prefetch.  Staggered cycles keep the
+        // shared port free so every request is admitted.
+        ASSERT_TRUE(mem.l1i().prefetch(0x400000, 1, kCGHC));
+        ASSERT_TRUE(mem.l1i().prefetch(0x410000, 2, kNL));
+        ASSERT_TRUE(mem.l1d().prefetch(0x800000, 3, kD));
+        mem.tick(200);
+        mem.l1i().access(0x400000, 200, kFetch, false);
+        mem.l1d().access(0x800000, 201, AccessSource::DemandLoad,
+                         false);
+        mem.finalize();
+
+        EXPECT_EQ(mem.l1i().prefHits(kCGHC), 1u) << with_arbiter;
+        EXPECT_EQ(mem.l1i().useless(kNL), 1u) << with_arbiter;
+        EXPECT_EQ(mem.l1d().prefHits(kD), 1u) << with_arbiter;
+
+        // Nothing leaks across sources or across the I/D split.
+        EXPECT_EQ(mem.l1i().prefetchesIssued(kD), 0u);
+        EXPECT_EQ(mem.l1i().prefHits(kNL), 0u);
+        EXPECT_EQ(mem.l1i().useless(kCGHC), 0u);
+        EXPECT_EQ(mem.l1d().prefetchesIssued(kNL), 0u);
+        EXPECT_EQ(mem.l1d().prefetchesIssued(kCGHC), 0u);
+        EXPECT_EQ(mem.l1d().useless(kD), 0u);
+        EXPECT_EQ(mem.l1i().squashedPrefetches(), 0u);
+        EXPECT_EQ(mem.l1d().squashedPrefetches(), 0u);
+    }
+}
+
+TEST(Hierarchy, DoubleFinalizeIsIdempotent)
+{
+    MemoryHierarchy mem;
+    // One never-referenced prefetched line per cache level path.
+    ASSERT_TRUE(mem.l1i().prefetch(0x400000, 1, kNL));
+    ASSERT_TRUE(mem.l1d().prefetch(0x800000, 2,
+                                   AccessSource::DataPrefetch));
+    mem.tick(200);
+    mem.finalize();
+    const auto i_useless = mem.l1i().useless(kNL);
+    const auto d_useless =
+        mem.l1d().useless(AccessSource::DataPrefetch);
+    EXPECT_EQ(i_useless, 1u);
+    EXPECT_EQ(d_useless, 1u);
+
+    // A second finalize (simulator teardown paths can reach it
+    // twice) must not re-classify anything.
+    mem.finalize();
+    EXPECT_EQ(mem.l1i().useless(kNL), i_useless);
+    EXPECT_EQ(mem.l1d().useless(AccessSource::DataPrefetch),
+              d_useless);
+}
+
 TEST(Hierarchy, PortSharedBetweenIAndD)
 {
     MemoryHierarchy mem;
