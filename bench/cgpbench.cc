@@ -14,13 +14,33 @@
  *         --artifact-dir D  where BENCH_*.json goes (default ".")
  *         --fresh           discard any previous run dir first
  *         --quiet           suppress per-job progress logging
+ *         --retries N       retry a transiently-failing job N times
+ *         --on-fail P       strict (abort) or degrade (finish the
+ *                           healthy jobs, record the failures)
+ *         --watchdog-cycles N   per-job cycle budget (deterministic)
+ *         --watchdog-wall S     per-job wall-clock budget, seconds
+ *         --hang-timeout S      hung-shard monitor budget, seconds
  *
  *   cgpbench resume <dir> [options]
  *       Finish a killed run: re-run its campaign with the same run
- *       directory; completed jobs are loaded, not re-simulated.
+ *       directory; completed jobs are loaded, not re-simulated, and
+ *       corrupt artifacts are quarantined + re-run automatically.
  *
  *   cgpbench report <dir>
- *       Summarize a run directory without simulating anything.
+ *       Summarize a run directory without simulating anything,
+ *       including any terminally failed jobs and their causes.
+ *
+ *   cgpbench verify <dir>
+ *       Audit a run directory's artifact integrity (CRC seals,
+ *       fingerprints, orphaned tmp files, quarantine inventory)
+ *       without modifying it.  Exit 0 iff everything checks out.
+ *
+ *   cgpbench chaos <campaign> --dir D [options]
+ *       Kill/resume torture loop: repeatedly crash the campaign at
+ *       injected fault points (and corrupt surviving artifacts),
+ *       then assert a final clean resume reproduces the
+ *       uninterrupted BENCH byte-for-byte.
+ *         --cycles N        kill/resume cycles (default 25)
  */
 
 #include <algorithm>
@@ -28,11 +48,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/artifact.hh"
 #include "exp/campaigns.hh"
+#include "exp/chaosloop.hh"
 #include "exp/engine.hh"
 #include "exp/rundir.hh"
 #include "util/logging.hh"
@@ -55,6 +77,12 @@ struct Options
     std::uint64_t seed = 0;
     bool fresh = false;
     bool quiet = false;
+    unsigned retries = 0;
+    std::optional<FailurePolicy> onFail;
+    std::uint64_t watchdogCycles = 0;
+    double watchdogWall = 0.0;
+    double hangTimeout = 0.0;
+    unsigned chaosCycles = 25;
 };
 
 int
@@ -65,9 +93,17 @@ usage()
         << "       cgpbench run <campaign|figures|ablations|all>...\n"
         << "           [--threads N] [--dir D] [--seed S]\n"
         << "           [--artifact-dir D] [--artifact FILE]\n"
-        << "           [--fresh] [--quiet]\n"
-        << "       cgpbench resume <dir> [--threads N] [--quiet]\n"
-        << "       cgpbench report <dir>\n";
+        << "           [--fresh] [--quiet] [--retries N]\n"
+        << "           [--on-fail strict|degrade]\n"
+        << "           [--watchdog-cycles N] [--watchdog-wall S]\n"
+        << "           [--hang-timeout S]\n"
+        << "       cgpbench resume <dir | name --dir D>\n"
+        << "           [--threads N] [--quiet] [--retries N]\n"
+        << "           [--on-fail strict|degrade] [--seed S]\n"
+        << "       cgpbench report <dir | name --dir D>\n"
+        << "       cgpbench verify <dir | name --dir D>\n"
+        << "       cgpbench chaos <campaign> --dir D [--cycles N]\n"
+        << "           [--threads N] [--seed S] [--retries N]\n";
     return 2;
 }
 
@@ -111,6 +147,43 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             if (!v)
                 return false;
             opt.artifactFile = v;
+        } else if (a == "--retries") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.retries =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (a == "--on-fail") {
+            const char *v = value();
+            if (!v)
+                return false;
+            try {
+                opt.onFail = failurePolicyFromString(v);
+            } catch (const std::invalid_argument &e) {
+                std::cerr << "cgpbench: " << e.what() << "\n";
+                return false;
+            }
+        } else if (a == "--watchdog-cycles") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.watchdogCycles = std::strtoull(v, nullptr, 10);
+        } else if (a == "--watchdog-wall") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.watchdogWall = std::strtod(v, nullptr);
+        } else if (a == "--hang-timeout") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.hangTimeout = std::strtod(v, nullptr);
+        } else if (a == "--cycles") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.chaosCycles =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (a == "--fresh") {
             opt.fresh = true;
         } else if (a == "--quiet") {
@@ -154,14 +227,45 @@ cmdList()
     return 0;
 }
 
-/** Run one campaign and emit its tables + artifact. */
-void
-runOne(const CampaignSpec &spec, PaperWorkloadBank &bank,
-       const Options &opt)
+EngineOptions
+engineOptions(const Options &opt)
 {
     EngineOptions eopt;
     eopt.threads = opt.threads;
     eopt.verbose = !opt.quiet;
+    eopt.retries = opt.retries;
+    eopt.onFail = opt.onFail;
+    eopt.watchdogCycles = opt.watchdogCycles;
+    eopt.watchdogWallSeconds = opt.watchdogWall;
+    eopt.hangTimeoutSeconds = opt.hangTimeout;
+    return eopt;
+}
+
+void
+printFailures(const CampaignRun &run)
+{
+    if (run.failures.empty())
+        return;
+    TablePrinter t("Failed jobs (degraded campaign)");
+    t.setHeader({"job", "workload", "config", "kind", "attempts",
+                 "error"});
+    for (const JobFailure &f : run.failures) {
+        t.addRow({std::to_string(f.index),
+                  run.jobs[f.index].workload,
+                  run.jobs[f.index].label, f.kind,
+                  std::to_string(f.attempts), f.message});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+/** Run one campaign and emit its tables + artifact; returns the
+ *  number of terminally failed jobs. */
+std::size_t
+runOne(const CampaignSpec &spec, PaperWorkloadBank &bank,
+       const Options &opt)
+{
+    EngineOptions eopt = engineOptions(opt);
     if (!opt.dir.empty()) {
         eopt.runDir = opt.dir + "/" + spec.name;
         if (opt.fresh)
@@ -171,16 +275,26 @@ runOne(const CampaignSpec &spec, PaperWorkloadBank &bank,
     const CampaignRun run = runCampaign(spec, bank, eopt);
 
     printCycleTables(run, std::cout);
+    printFailures(run);
     const std::string artifact = !opt.artifactFile.empty()
         ? opt.artifactFile
         : opt.artifactDir + "/BENCH_" + spec.name + ".json";
     writeBenchJson(artifact, run);
     std::cout << "\n[" << spec.name << "] " << run.executed
               << " jobs run, " << run.skipped << " resumed, "
+              << run.failures.size() << " failed, "
               << run.threadsUsed << " threads ("
               << run.steals << " steals), "
               << TablePrinter::fixed(run.wallSeconds, 1)
-              << "s; artifact " << artifact << "\n\n";
+              << "s; artifact " << artifact << "\n";
+    if (run.quarantined != 0) {
+        std::cout << "[" << spec.name << "] quarantined "
+                  << run.quarantined
+                  << " corrupt artifact(s); see "
+                  << eopt.runDir << "/quarantine\n";
+    }
+    std::cout << "\n";
+    return run.failures.size();
 }
 
 int
@@ -197,13 +311,27 @@ cmdRun(const Options &opt)
         return 2;
     }
     PaperWorkloadBank bank;
+    std::size_t failed = 0;
     for (const std::string &name : names) {
         CampaignSpec spec = paperCampaign(name);
         if (opt.seedSet)
             spec.seed = opt.seed;
-        runOne(spec, bank, opt);
+        failed += runOne(spec, bank, opt);
     }
-    return 0;
+    // A degraded campaign completed but is not healthy; make the
+    // exit code say so for CI.
+    return failed == 0 ? 0 : 3;
+}
+
+/** resume/report/verify accept either a literal run-dir path or a
+ *  campaign name plus --dir, mirroring how `run` lays out
+ *  `<dir>/<campaign>`. */
+std::string
+resolveRunDir(const Options &opt)
+{
+    if (opt.dir.empty())
+        return opt.names[0];
+    return opt.dir + "/" + opt.names[0];
 }
 
 int
@@ -213,30 +341,49 @@ cmdResume(const Options &opt)
         std::cerr << "cgpbench resume: need exactly one run dir\n";
         return usage();
     }
-    const std::string dir = opt.names[0];
-    const LoadedRun loaded = loadRunDir(dir);
+    const std::string dir = resolveRunDir(opt);
 
-    CampaignSpec spec = paperCampaign(loaded.campaign);
-    spec.seed = loaded.seed;
+    // The manifest normally tells us which campaign the dir holds.
+    // If it is corrupt or torn, fall back to the directory name
+    // (run dirs are laid out as <dir>/<campaign>): the engine's
+    // prepare step then quarantines the bad manifest, rebuilds it,
+    // and keeps every job file whose seal still matches.
+    std::string campaign;
+    std::uint64_t seed = 0;
+    bool seedKnown = false;
+    try {
+        const LoadedRun loaded = loadRunDir(dir);
+        campaign = loaded.campaign;
+        seed = loaded.seed;
+        seedKnown = true;
+    } catch (const std::exception &e) {
+        campaign = std::filesystem::path(dir).filename().string();
+        std::cerr << "cgpbench resume: manifest unreadable ("
+                  << e.what() << "); recovering campaign \""
+                  << campaign << "\" from the directory name\n";
+    }
 
-    Options ropt = opt;
-    ropt.names.clear();
-    ropt.fresh = false;
-    ropt.artifactFile = ropt.artifactDir + "/BENCH_" +
-        loaded.campaign + ".json";
+    CampaignSpec spec = paperCampaign(campaign);
+    if (seedKnown)
+        spec.seed = seed;
+    if (opt.seedSet)
+        spec.seed = opt.seed;
+
+    const std::string artifact = opt.artifactDir + "/BENCH_" +
+        campaign + ".json";
 
     PaperWorkloadBank bank;
-    EngineOptions eopt;
-    eopt.threads = ropt.threads;
-    eopt.verbose = !ropt.quiet;
+    EngineOptions eopt = engineOptions(opt);
     eopt.runDir = dir;
     const CampaignRun run = runCampaign(spec, bank, eopt);
     printCycleTables(run, std::cout);
-    writeBenchJson(ropt.artifactFile, run);
+    printFailures(run);
+    writeBenchJson(artifact, run);
     std::cout << "\n[" << spec.name << "] " << run.executed
-              << " jobs run, " << run.skipped << " resumed; artifact "
-              << ropt.artifactFile << "\n";
-    return 0;
+              << " jobs run, " << run.skipped << " resumed, "
+              << run.failures.size() << " failed; artifact "
+              << artifact << "\n";
+    return run.failures.empty() ? 0 : 3;
 }
 
 int
@@ -246,31 +393,153 @@ cmdReport(const Options &opt)
         std::cerr << "cgpbench report: need exactly one run dir\n";
         return usage();
     }
-    const LoadedRun run = loadRunDir(opt.names[0]);
+    const std::string dir = resolveRunDir(opt);
+    LoadedRun run;
+    try {
+        run = loadRunDir(dir);
+    } catch (const std::exception &e) {
+        std::cerr << "cgpbench report: " << e.what()
+                  << "\nAudit with: cgpbench verify " << dir
+                  << "\nRecover with: cgpbench resume " << dir
+                  << "\n";
+        return 1;
+    }
 
     std::cout << "Campaign:    " << run.campaign << " — "
               << run.title << "\n"
               << "Fingerprint: " << run.fingerprint << "\n"
               << "Seed:        " << run.seed << "\n"
               << "Jobs:        " << run.results.size() << "/"
-              << run.jobs.size() << " complete\n\n";
+              << run.jobs.size() << " complete, "
+              << run.failures.size() << " failed\n\n";
 
     TablePrinter t("Job status");
     t.setHeader({"job", "workload", "config", "status", "cycles"});
     for (const JobSpec &j : run.jobs) {
         const auto it = run.results.find(j.index);
+        const bool failed =
+            run.failures.find(j.index) != run.failures.end();
+        const char *status = it != run.results.end() ? "done"
+            : failed                                 ? "failed"
+                                                     : "pending";
         t.addRow({std::to_string(j.index), j.workload, j.label,
-                  it == run.results.end() ? "pending" : "done",
+                  status,
                   it == run.results.end()
                       ? "-"
                       : TablePrinter::num(it->second.cycles)});
     }
     t.print(std::cout);
+
+    if (!run.failures.empty()) {
+        std::cout << "\n";
+        TablePrinter f("Failed jobs");
+        f.setHeader({"job", "kind", "attempts", "error"});
+        for (const auto &[index, fail] : run.failures) {
+            f.addRow({std::to_string(index), fail.kind,
+                      std::to_string(fail.attempts),
+                      fail.message});
+        }
+        f.print(std::cout);
+    }
     if (run.results.size() < run.jobs.size()) {
-        std::cout << "\nResume with: cgpbench resume "
-                  << opt.names[0] << "\n";
+        std::cout << "\nResume with: cgpbench resume " << dir
+                  << "\n";
     }
     return 0;
+}
+
+int
+cmdVerify(const Options &opt)
+{
+    if (opt.names.size() != 1) {
+        std::cerr << "cgpbench verify: need exactly one run dir\n";
+        return usage();
+    }
+    const std::string dir = resolveRunDir(opt);
+    if (!std::filesystem::is_directory(dir)) {
+        std::cerr << "cgpbench verify: no such run dir: " << dir
+                  << "\n";
+        return 2;
+    }
+    const VerifyReport report = verifyRunDir(dir);
+
+    std::cout << "Run dir:     " << dir << "\n";
+    if (report.manifestOk) {
+        std::cout << "Campaign:    " << report.campaign << "\n"
+                  << "Fingerprint: " << report.fingerprint << "\n"
+                  << "Jobs:        " << report.jobsTotal << " ("
+                  << report.jobsDone << " done, "
+                  << report.jobsPending << " pending, "
+                  << report.jobsFailed << " failed)\n"
+                  << "Job files:   " << report.jobFilesOk
+                  << " verified OK\n";
+    } else {
+        std::cout << "Manifest:    INVALID\n";
+    }
+    if (!report.quarantineEntries.empty()) {
+        std::cout << "Quarantine:  "
+                  << report.quarantineEntries.size()
+                  << " artifact(s)\n";
+        for (const std::string &q : report.quarantineEntries)
+            std::cout << "    " << q << "\n";
+    }
+    if (!report.issues.empty()) {
+        std::cout << "\n";
+        TablePrinter t("Integrity issues");
+        t.setHeader({"artifact", "problem"});
+        for (const VerifyIssue &i : report.issues)
+            t.addRow({i.file, i.problem});
+        t.print(std::cout);
+        std::cout << "\nA resume (cgpbench resume " << dir
+                  << ") quarantines these and re-runs the "
+                     "affected jobs.\n";
+    }
+    std::cout << (report.ok() ? "\nOK\n" : "\nNOT OK\n");
+    return report.ok() ? 0 : 1;
+}
+
+int
+cmdChaos(const Options &opt)
+{
+    if (opt.names.size() != 1) {
+        std::cerr << "cgpbench chaos: need exactly one campaign\n";
+        return usage();
+    }
+    if (opt.dir.empty()) {
+        std::cerr << "cgpbench chaos: --dir is required (the loop "
+                     "kills and resumes a persistent run dir)\n";
+        return 2;
+    }
+    CampaignSpec spec = paperCampaign(opt.names[0]);
+    if (opt.seedSet)
+        spec.seed = opt.seed;
+
+    ChaosLoopConfig config;
+    config.cycles = opt.chaosCycles;
+    config.threads = opt.threads != 0 ? opt.threads : 2;
+    config.dir = opt.dir + "/" + spec.name + "-chaos";
+    config.retries = opt.retries != 0 ? opt.retries : 2;
+    config.verbose = !opt.quiet;
+    if (opt.seedSet)
+        config.seed = opt.seed;
+
+    PaperWorkloadBank bank;
+    ChaosLoopHarness harness(spec, bank, config);
+    const ChaosLoopResult result = harness.run();
+
+    std::cout << "Chaos loop:  " << spec.name << "\n"
+              << "Cycles:      " << result.cycles << " ("
+              << result.crashes << " crashes, "
+              << result.cleanRuns << " clean)\n"
+              << "Corruptions: " << result.corruptions << "\n"
+              << "Quarantined: " << result.quarantined << "\n"
+              << "Jobs run:    " << result.executedJobs << "\n"
+              << "Verdict:     "
+              << (result.identical
+                      ? "BENCH byte-identical to uninterrupted run"
+                      : "MISMATCH: " + result.mismatch)
+              << "\n";
+    return result.ok() ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -295,6 +564,10 @@ main(int argc, char **argv)
             return cmdResume(opt);
         if (cmd == "report")
             return cmdReport(opt);
+        if (cmd == "verify")
+            return cmdVerify(opt);
+        if (cmd == "chaos")
+            return cmdChaos(opt);
     } catch (const std::exception &e) {
         std::cerr << "cgpbench: " << e.what() << "\n";
         return 1;

@@ -1,8 +1,11 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "util/logging.hh"
+#include "util/watchdog.hh"
 
 namespace cgp
 {
@@ -345,11 +348,38 @@ void
 Core::run()
 {
     const Cycle safety_cap = ~0ull;
+    const bool wall_budget = config_.maxWallSeconds > 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
     bool work_left = true;
     while (work_left && now_ < safety_cap) {
         if (config_.maxInstrs != 0 &&
             committed_.value() >= config_.maxInstrs) {
             break;
+        }
+        // Watchdog: the cycle budget is deterministic (a livelocked
+        // config times out at the same cycle everywhere); the
+        // wall-clock budget and the cancel token are checked on a
+        // coarse stride so the hot loop stays cheap.
+        if (config_.maxCycles != 0 && now_ >= config_.maxCycles) {
+            throw TimeoutError(
+                "simulation exceeded cycle budget of " +
+                std::to_string(config_.maxCycles) + " cycles");
+        }
+        if ((now_ & 0xFFFu) == 0) {
+            if (cancelRequested()) {
+                throw CancelledError(
+                    "simulation cancelled by watchdog at cycle " +
+                    std::to_string(now_));
+            }
+            if (wall_budget &&
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                        .count() > config_.maxWallSeconds) {
+                throw TimeoutError(
+                    "simulation exceeded wall-clock budget of " +
+                    std::to_string(config_.maxWallSeconds) +
+                    " seconds");
+            }
         }
         ++now_;
         mem_.tick(now_);

@@ -64,6 +64,19 @@ struct CoreConfig
     /** Stop after this many committed instructions (0 = whole trace). */
     std::uint64_t maxInstrs = 0;
 
+    /**
+     * Watchdog cycle budget (0 = none).  Unlike maxInstrs — a normal
+     * early stop that still yields a result — exceeding this budget
+     * throws TimeoutError: the run is classified as timed out, its
+     * partial numbers are discarded, and the campaign engine records
+     * the job as failed instead of persisting a truncated result.
+     */
+    std::uint64_t maxCycles = 0;
+
+    /** Watchdog wall-clock budget in seconds (0 = none); same
+     *  classification as maxCycles but against real time. */
+    double maxWallSeconds = 0.0;
+
     BranchPredictorConfig branch;
 };
 

@@ -1,8 +1,12 @@
 #include "exp/artifact.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
 
+#include "exp/integrity.hh"
+#include "fault/fault.hh"
 #include "harness/report.hh"
 #include "util/table.hh"
 
@@ -26,7 +30,7 @@ Json
 benchJson(const CampaignRun &run)
 {
     Json j = Json::object();
-    j.set("schema", 1);
+    j.set("schema", 2);
     j.set("bench", run.name);
     j.set("title", run.title);
     j.set("seed", run.seed);
@@ -39,16 +43,46 @@ benchJson(const CampaignRun &run)
     exec.set("threads", run.threadsUsed);
     exec.set("steals", run.steals);
     exec.set("wall_seconds", run.wallSeconds);
+    exec.set("quarantined", run.quarantined);
     j.set("execution", std::move(exec));
+
+    // Always present so downstream tooling can key on it; empty on a
+    // fully healthy campaign.
+    Json failures = Json::array();
+    for (const JobFailure &f : run.failures) {
+        Json e = Json::object();
+        e.set("index", f.index);
+        e.set("workload", run.jobs[f.index].workload);
+        e.set("config", run.jobs[f.index].label);
+        e.set("kind", f.kind);
+        e.set("message", f.message);
+        e.set("attempts", f.attempts);
+        failures.push(std::move(e));
+    }
+    j.set("failures", std::move(failures));
 
     Json jobs = Json::array();
     for (const JobSpec &job : run.jobs) {
-        const SimResult &r = run.results[job.index];
         Json e = Json::object();
         e.set("index", job.index);
         e.set("workload", job.workload);
         e.set("config", job.label);
         e.set("seed", job.seed);
+
+        const bool failed = std::any_of(
+            run.failures.begin(), run.failures.end(),
+            [&](const JobFailure &f) {
+                return f.index == job.index;
+            });
+        if (failed) {
+            // A failed job has no result; its default-constructed
+            // SimResult would read as "everything was zero cycles".
+            e.set("status", "failed");
+            jobs.push(std::move(e));
+            continue;
+        }
+        e.set("status", "ok");
+        const SimResult &r = run.results[job.index];
         e.set("result", toJson(r));
 
         // Derived metrics, precomputed for plotting pipelines.
@@ -69,18 +103,17 @@ benchJson(const CampaignRun &run)
         jobs.push(std::move(e));
     }
     j.set("jobs", std::move(jobs));
+    sealJson(j);
     return j;
 }
 
 void
 writeBenchJson(const std::string &path, const CampaignRun &run)
 {
-    const std::string text = benchJson(run).dump(2) + "\n";
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr)
-        throw std::runtime_error("cannot write " + path);
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    // Crash here = the campaign completed but the report did not; a
+    // resume re-reads the run dir and rewrites the BENCH cheaply.
+    fault::hit("exp.pre_bench");
+    writeFileAtomicDurable(path, benchJson(run).dump(2) + "\n");
 }
 
 void
@@ -102,16 +135,45 @@ printCycleTables(const CampaignRun &run, std::ostream &os,
     abs.setHeader(header);
     norm.setHeader(header);
 
+    // Failed jobs (degrade policy) have no result; their cells show
+    // "-" instead of a bogus zero.
+    std::set<std::size_t> failed;
+    for (const JobFailure &f : run.failures)
+        failed.insert(f.index);
+    const auto cellResult =
+        [&](const std::string &w,
+            const std::string &l) -> const SimResult * {
+        for (const JobSpec &j : run.jobs) {
+            if (j.workload == w && j.label == l)
+                return failed.count(j.index) != 0
+                    ? nullptr
+                    : &run.results[j.index];
+        }
+        return nullptr;
+    };
+
     for (const std::string &w : workloads) {
         std::vector<std::string> arow{w};
         std::vector<std::string> nrow{w};
-        const double base = static_cast<double>(
-            run.at(w, labels[normIndex]).cycles);
+        const SimResult *baseRes =
+            cellResult(w, labels[normIndex]);
+        const double base = baseRes == nullptr
+            ? 0.0
+            : static_cast<double>(baseRes->cycles);
         for (const std::string &l : labels) {
-            const SimResult &r = run.at(w, l);
-            arow.push_back(TablePrinter::num(r.cycles));
-            nrow.push_back(TablePrinter::fixed(
-                static_cast<double>(r.cycles) / base, 3));
+            const SimResult *r = cellResult(w, l);
+            if (r == nullptr) {
+                arow.push_back("-");
+                nrow.push_back("-");
+                continue;
+            }
+            arow.push_back(TablePrinter::num(r->cycles));
+            nrow.push_back(base == 0.0
+                               ? std::string("-")
+                               : TablePrinter::fixed(
+                                     static_cast<double>(r->cycles) /
+                                         base,
+                                     3));
         }
         abs.addRow(arow);
         norm.addRow(nrow);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/scheduler.hh"
 #include "harness/simconfig.hh"
 
 namespace cgp::exp
@@ -87,6 +88,13 @@ struct CampaignSpec
 
     /** Campaign seed; every job derives its own seed from it. */
     std::uint64_t seed = 0;
+
+    /**
+     * What a job failure does to the rest of the campaign.  Not part
+     * of the fingerprint: the job list is identical either way, so a
+     * run directory can be resumed under a different policy.
+     */
+    FailurePolicy policy = FailurePolicy::Strict;
 };
 
 /** One schedulable unit: a single runSimulation() point. */

@@ -358,6 +358,46 @@ makeFigIDInteraction()
 }
 
 CampaignSpec
+makeArbiterSweep()
+{
+    CampaignSpec s;
+    s.name = "arbiter-sweep";
+    s.title = "Shared-arbiter knob sweep (accuracy gate, probe "
+              "period, duplicate filter)";
+    // The interaction mixes: one pure-Wisconsin, one with TPC-H —
+    // the workloads the arbiter was built for.
+    s.workloads = {"wisc-large-1", "wisc+tpch"};
+    s.base = SimConfig::withIPlusD(DataPrefetchKind::Combined, true);
+
+    ConfigAxis gate{"lowAccuracy", {}};
+    for (const double acc : {0.10, 0.20, 0.40}) {
+        gate.points.push_back(
+            {"acc" + std::to_string(static_cast<int>(acc * 100 + 0.5)),
+             [acc](SimConfig &c) {
+                 c.mem.arbiter.lowAccuracy = acc;
+             }});
+    }
+    ConfigAxis probe{"probePeriod", {}};
+    for (const unsigned p : {4u, 8u, 16u}) {
+        probe.points.push_back(
+            {"probe" + std::to_string(p), [p](SimConfig &c) {
+                 c.mem.arbiter.probePeriod = p;
+             }});
+    }
+    ConfigAxis filter{"filterWindow", {}};
+    for (const unsigned w : {64u, 128u, 256u}) {
+        filter.points.push_back(
+            {"filt" + std::to_string(w), [w](SimConfig &c) {
+                 c.mem.arbiter.filterWindow = w;
+             }});
+    }
+    s.axes.push_back(std::move(gate));
+    s.axes.push_back(std::move(probe));
+    s.axes.push_back(std::move(filter));
+    return s;
+}
+
+CampaignSpec
 makeSmoke()
 {
     CampaignSpec s;
@@ -378,7 +418,7 @@ const std::vector<std::string> figureNames = {
 const std::vector<std::string> ablationNames = {
     "ablation-ranl", "ablation-design-depth",
     "ablation-design-layout", "ablation-swcgp",
-    "ablation-swcgp-assoc"};
+    "ablation-swcgp-assoc", "arbiter-sweep"};
 
 } // anonymous namespace
 
@@ -423,6 +463,8 @@ paperCampaign(const std::string &name)
         return makeAblationSwCgp();
     if (name == "ablation-swcgp-assoc")
         return makeAblationAssoc();
+    if (name == "arbiter-sweep")
+        return makeArbiterSweep();
     if (name == "smoke")
         return makeSmoke();
     throw std::invalid_argument("unknown campaign '" + name + "'");

@@ -4,13 +4,26 @@
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "exp/rundir.hh"
 #include "exp/scheduler.hh"
+#include "fault/fault.hh"
 #include "util/logging.hh"
 
 namespace cgp::exp
 {
+
+unsigned
+retryBackoffMs(std::uint64_t seed, unsigned attempt, unsigned baseMs)
+{
+    if (baseMs == 0)
+        baseMs = 1;
+    const unsigned shift = attempt < 6 ? attempt : 6;
+    const unsigned jitter = static_cast<unsigned>(
+        jobSeed(seed, attempt) % baseMs);
+    return (baseMs << shift) + jitter;
+}
 
 Workload
 InMemoryProvider::resolve(const std::string &name)
@@ -122,33 +135,121 @@ runCampaign(const CampaignSpec &spec, WorkloadProvider &provider,
     }
 
     std::mutex record_mu;
-    const ScheduleStats stats = runJobs(
-        pending.size(), options.threads, [&](std::size_t k) {
-            const JobSpec &job = run.jobs[pending[k]];
-            if (options.verbose) {
-                cgp_inform("[", spec.name, ":", job.index, " ",
-                           job.workload, "/", job.label,
-                           "] running");
-            }
-            SimResult r =
-                runSimulation(workloads.at(job.workload),
-                              job.config);
-            // Sweeps can distinguish configs describe() cannot
-            // (CGHC geometry): the label is the result identity.
-            r.config = job.label;
+    std::vector<unsigned> attempts(pending.size(), 1);
 
-            std::lock_guard<std::mutex> lock(record_mu);
-            dir.recordResult(job, r);
-            run.results[job.index] = std::move(r);
-            ++run.executed;
-            if (options.verbose) {
-                cgp_inform("[", spec.name, ":", job.index, " ",
-                           job.workload, "/", job.label,
-                           "] done: cycles=",
-                           run.results[job.index].cycles);
-            }
-        });
+    const auto runOneJob = [&](std::size_t k) {
+        const JobSpec &job = run.jobs[pending[k]];
+        if (options.verbose) {
+            cgp_inform("[", spec.name, ":", job.index, " ",
+                       job.workload, "/", job.label, "] running");
+        }
 
+        // Watchdog budgets ride the per-job config copy so the
+        // simulation itself enforces them cooperatively.
+        SimConfig cfg = job.config;
+        if (options.watchdogCycles != 0 &&
+            (cfg.core.maxCycles == 0 ||
+             cfg.core.maxCycles > options.watchdogCycles)) {
+            cfg.core.maxCycles = options.watchdogCycles;
+        }
+        if (options.watchdogWallSeconds > 0.0)
+            cfg.core.maxWallSeconds = options.watchdogWallSeconds;
+
+        SimResult r;
+        for (unsigned attempt = 1;; ++attempt) {
+            attempts[k] = attempt;
+            try {
+                // Transient-failure injection for the retry path.
+                if (fault::hit("exp.job") ==
+                    fault::FaultKind::TransientIo) {
+                    throw fault::TransientIoError(
+                        "injected transient failure in job " +
+                        std::to_string(job.index));
+                }
+                r = runSimulation(workloads.at(job.workload), cfg);
+                break;
+            } catch (const fault::TransientIoError &e) {
+                if (attempt > options.retries)
+                    throw;
+                const unsigned delay =
+                    retryBackoffMs(job.seed, attempt);
+                if (options.verbose) {
+                    cgp_warn("[", spec.name, ":", job.index,
+                             "] transient failure (", e.what(),
+                             "); retry ", attempt, "/",
+                             options.retries, " after ", delay,
+                             "ms");
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            }
+        }
+        // Sweeps can distinguish configs describe() cannot
+        // (CGHC geometry): the label is the result identity.
+        r.config = job.label;
+
+        std::lock_guard<std::mutex> lock(record_mu);
+        dir.recordResult(job, r);
+        run.results[job.index] = std::move(r);
+        ++run.executed;
+        if (options.verbose) {
+            cgp_inform("[", spec.name, ":", job.index, " ",
+                       job.workload, "/", job.label,
+                       "] done: cycles=",
+                       run.results[job.index].cycles);
+        }
+    };
+
+    SchedulerOptions sched;
+    sched.threads = options.threads;
+    sched.policy = options.onFail.value_or(spec.policy);
+    sched.hangTimeoutSeconds = options.hangTimeoutSeconds;
+
+    // Remap scheduler job indices (positions in `pending`) back to
+    // campaign job indices and attach the attempt counts.
+    const auto remap = [&](std::vector<JobFailure> failures) {
+        for (JobFailure &f : failures) {
+            f.attempts = attempts[f.index];
+            f.index = run.jobs[pending[f.index]].index;
+        }
+        std::sort(failures.begin(), failures.end(),
+                  [](const JobFailure &a, const JobFailure &b) {
+                      return a.index < b.index;
+                  });
+        return failures;
+    };
+
+    ScheduleStats stats;
+    try {
+        stats = runJobs(pending.size(), sched, runOneJob);
+    } catch (const CampaignAborted &e) {
+        // Record every failure durably before aborting, then rethrow
+        // with campaign job indices so callers see stable identities.
+        std::vector<JobFailure> failures = remap(e.failures());
+        std::string msg = "campaign '" + spec.name +
+            "' aborted (strict policy): " +
+            std::to_string(failures.size()) + " job(s) failed";
+        for (const JobFailure &f : failures) {
+            dir.markFailed(f);
+            msg += "\n  job " + std::to_string(f.index) + " [" +
+                f.kind + "]: " + f.message;
+        }
+        dir.flushManifest();
+        throw CampaignAborted(msg, std::move(failures));
+    }
+
+    run.failures = remap(stats.failures);
+    for (const JobFailure &f : run.failures) {
+        dir.markFailed(f);
+        if (options.verbose) {
+            cgp_warn("[", spec.name, ":", f.index, "] failed (",
+                     f.kind, "): ", f.message);
+        }
+    }
+    if (!run.failures.empty())
+        dir.flushManifest();
+
+    run.quarantined = dir.quarantined();
     run.threadsUsed = stats.threads;
     run.steals = stats.steals;
     run.wallSeconds =

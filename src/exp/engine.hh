@@ -16,10 +16,12 @@
 #define CGP_EXP_ENGINE_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/campaign.hh"
+#include "exp/scheduler.hh"
 #include "harness/simulator.hh"
 #include "harness/workload.hh"
 
@@ -70,6 +72,23 @@ struct EngineOptions
 
     /** Per-job progress through util/logging (cgp_inform). */
     bool verbose = true;
+
+    /** Transient-failure retries per job (0 = fail on first). */
+    unsigned retries = 0;
+
+    /** Override the spec's failure policy (CLI --on-fail). */
+    std::optional<FailurePolicy> onFail;
+
+    /** Deterministic per-job cycle budget (0 = none); a job that
+     *  exceeds it fails as a "timeout". */
+    std::uint64_t watchdogCycles = 0;
+
+    /** Per-job wall-clock budget in seconds (0 = none). */
+    double watchdogWallSeconds = 0.0;
+
+    /** Hung-shard monitor budget in seconds (0 = no monitor);
+     *  see SchedulerOptions::hangTimeoutSeconds. */
+    double hangTimeoutSeconds = 0.0;
 };
 
 /** A finished (or resumed-and-finished) campaign. */
@@ -89,6 +108,13 @@ struct CampaignRun
     std::uint64_t steals = 0;
     double wallSeconds = 0.0; ///< this invocation only
 
+    /** Jobs that terminally failed (Degrade policy), by campaign
+     *  job index, in index order. */
+    std::vector<JobFailure> failures;
+
+    /** Corrupt artifacts quarantined while opening/resuming. */
+    std::size_t quarantined = 0;
+
     /** Distinct workload names in first-appearance order. */
     std::vector<std::string> workloadNames() const;
 
@@ -105,10 +131,24 @@ struct CampaignRun
 };
 
 /**
- * Run @p spec to completion.  Exceptions from jobs (including
- * injected crashes) propagate after the pool joins; completed jobs
- * stay recorded in the run directory, so rerunning the same call
- * resumes.
+ * Deterministic exponential backoff before retry @p attempt
+ * (1-based) of the job with seed @p jobSeed: base * 2^min(attempt,6)
+ * milliseconds plus a seed-derived jitter below @p baseMs.  Pure
+ * function of its arguments — the same job backs off identically at
+ * any thread count.
+ */
+unsigned retryBackoffMs(std::uint64_t jobSeed, unsigned attempt,
+                        unsigned baseMs = 10);
+
+/**
+ * Run @p spec to completion.  Under the Strict policy (the default)
+ * job failures abort the campaign via CampaignAborted after the pool
+ * joins, every failure aggregated; under Degrade they are recorded
+ * in CampaignRun::failures (and the run directory's manifest) and
+ * every healthy job still completes.  Injected crashes
+ * (fault::CrashInjected) always propagate type-intact; completed
+ * jobs stay recorded in the run directory, so rerunning the same
+ * call resumes.
  */
 CampaignRun runCampaign(const CampaignSpec &spec,
                         WorkloadProvider &provider,

@@ -1,0 +1,120 @@
+#include "exp/integrity.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "fault/fault.hh"
+#include "util/crc.hh"
+
+namespace cgp::exp
+{
+
+namespace
+{
+
+constexpr const char *sealKey = "crc32";
+
+std::uint32_t
+payloadCrc(const Json &obj)
+{
+    Json copy = obj;
+    copy.remove(sealKey);
+    return crc32(copy.dump(2));
+}
+
+/** fsync a path (file or directory); best-effort for directories
+ *  (some filesystems refuse O_RDONLY fsync on dirs). */
+void
+syncPath(const std::string &path, bool required)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (required)
+            throw std::runtime_error("cannot open for fsync: " + path);
+        return;
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0 && required)
+        throw std::runtime_error("fsync failed: " + path);
+}
+
+} // anonymous namespace
+
+void
+sealJson(Json &obj)
+{
+    obj.set(sealKey, static_cast<unsigned long>(payloadCrc(obj)));
+}
+
+bool
+verifySealedJson(const Json &obj)
+{
+    if (!obj.isObject())
+        return false;
+    const Json *seal = obj.find(sealKey);
+    if (seal == nullptr || !seal->isNumber())
+        return false;
+    return seal->asUint() == payloadCrc(obj);
+}
+
+std::string
+deterministicBenchText(const Json &bench)
+{
+    Json copy = bench;
+    copy.remove("execution");
+    copy.remove(sealKey);
+    return copy.dump(2) + "\n";
+}
+
+void
+writeFileAtomicDurable(const std::string &path,
+                       const std::string &contents)
+{
+    // A TornWrite fault truncates the payload and then simulates
+    // process death *after* the rename: the torn bytes become
+    // visible under the final name, as a real torn sector would.
+    bool torn = false;
+    if (const auto kind = fault::hit("exp.artifact_write");
+        kind == fault::FaultKind::TornWrite) {
+        torn = true;
+    }
+    const std::string payload =
+        torn ? contents.substr(0, contents.size() / 2) : contents;
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot write " + tmp);
+        out << payload;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("short write to " + tmp);
+    }
+    syncPath(tmp, true);
+    std::filesystem::rename(tmp, path);
+    syncPath(std::filesystem::path(path).parent_path().string(),
+             false);
+    if (torn)
+        throw fault::CrashInjected("exp.artifact_write");
+}
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace cgp::exp

@@ -1,14 +1,21 @@
 #include "exp/rundir.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 
+#include <cerrno>
+#include <csignal>
+#include <unistd.h>
+
+#include "exp/integrity.hh"
 #include "fault/fault.hh"
 #include "harness/report.hh"
 #include "util/json.hh"
+#include "util/logging.hh"
 
 namespace cgp::exp
 {
@@ -16,22 +23,43 @@ namespace cgp::exp
 namespace
 {
 
-constexpr int manifestSchema = 1;
+constexpr int manifestSchema = 2;
+
+/**
+ * Lock paths held by *this* process.  The pid in the lock file only
+ * distinguishes foreign processes; two RunDirs in one process (e.g.
+ * a test opening the dir it is already running) share a pid, so
+ * in-process exclusion needs its own registry.
+ */
+std::mutex heldLocksMu;
+std::set<std::string> heldLocks; // NOLINT: process lifetime
 
 std::string
-readFile(const std::string &path)
+lockKey(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("cannot open " + path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
+    std::error_code ec;
+    const auto abs = std::filesystem::absolute(path, ec);
+    return ec ? path : abs.lexically_normal().string();
+}
+
+bool
+processAlive(long pid)
+{
+    if (pid <= 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    return errno == EPERM; // exists, owned by someone else
 }
 
 } // anonymous namespace
 
 RunDir::RunDir(std::string path) : path_(std::move(path)) {}
+
+RunDir::~RunDir()
+{
+    releaseLock();
+}
 
 std::string
 RunDir::jobFileName(std::size_t index)
@@ -53,6 +81,110 @@ RunDir::jobFilePath(std::size_t index) const
     return path_ + "/" + jobFileName(index);
 }
 
+std::string
+RunDir::quarantineDir() const
+{
+    return path_ + "/quarantine";
+}
+
+void
+RunDir::acquireLock()
+{
+    const std::string lockPath = path_ + "/.lock";
+    const std::string key = lockKey(path_);
+    {
+        std::lock_guard<std::mutex> lock(heldLocksMu);
+        if (heldLocks.count(key) != 0) {
+            throw std::runtime_error(
+                "run directory " + path_ +
+                " is already locked by this process");
+        }
+    }
+    if (std::filesystem::exists(lockPath)) {
+        long pid = 0;
+        try {
+            pid = std::stol(readFileOrThrow(lockPath));
+        } catch (const std::exception &) {
+            pid = 0; // unreadable lock: treat as stale
+        }
+        if (pid == static_cast<long>(::getpid()) ||
+            !processAlive(pid)) {
+            cgp_warn("stealing stale lock on ", path_,
+                     " (owner pid ", pid, " is gone)");
+        } else {
+            throw std::runtime_error(
+                "run directory " + path_ +
+                " is locked by live process " +
+                std::to_string(pid) +
+                "; remove " + lockPath + " if that is wrong");
+        }
+    }
+    writeFileAtomicDurable(lockPath,
+                           std::to_string(::getpid()) + "\n");
+    {
+        std::lock_guard<std::mutex> lock(heldLocksMu);
+        heldLocks.insert(key);
+    }
+    holdsLock_ = true;
+}
+
+void
+RunDir::releaseLock()
+{
+    if (!holdsLock_)
+        return;
+    holdsLock_ = false;
+    {
+        std::lock_guard<std::mutex> lock(heldLocksMu);
+        heldLocks.erase(lockKey(path_));
+    }
+    std::error_code ec;
+    std::filesystem::remove(path_ + "/.lock", ec);
+}
+
+void
+RunDir::sweepTmpFiles()
+{
+    for (const auto &entry :
+         std::filesystem::directory_iterator(path_)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            std::error_code ec;
+            std::filesystem::remove(entry.path(), ec);
+            if (!ec)
+                ++sweptTmp_;
+        }
+    }
+    if (sweptTmp_ != 0) {
+        cgp_warn("swept ", sweptTmp_, " orphaned tmp file(s) in ",
+                 path_, " (previous writer died mid-write)");
+    }
+}
+
+void
+RunDir::quarantineFile(const std::string &file,
+                       const std::string &why)
+{
+    std::filesystem::create_directories(quarantineDir());
+    const std::string base =
+        std::filesystem::path(file).filename().string();
+    std::string dest = quarantineDir() + "/" + base;
+    for (int n = 1; std::filesystem::exists(dest); ++n)
+        dest = quarantineDir() + "/" + base + "." + std::to_string(n);
+    std::error_code ec;
+    std::filesystem::rename(file, dest, ec);
+    if (ec) {
+        // Cross-device or permission trouble: fall back to delete so
+        // the corrupt artifact at least cannot poison the run.
+        std::filesystem::remove(file, ec);
+    }
+    ++quarantined_;
+    cgp_warn("quarantined ", base, ": ", why);
+}
+
 void
 RunDir::prepare(const CampaignSpec &spec,
                 const std::vector<JobSpec> &jobs,
@@ -66,13 +198,33 @@ RunDir::prepare(const CampaignSpec &spec,
     fingerprint_ = fingerprint;
     jobs_ = jobs;
     done_.assign(jobs.size(), false);
+    failed_.clear();
 
     std::filesystem::create_directories(path_);
+    acquireLock();
+    sweepTmpFiles();
+
     if (std::filesystem::exists(manifestPath())) {
-        const Json m = Json::parse(readFile(manifestPath()));
-        const std::string existing =
-            m.at("fingerprint").asString();
-        if (existing != fingerprint_) {
+        bool valid = false;
+        std::string existing;
+        std::string why;
+        try {
+            const Json m =
+                Json::parse(readFileOrThrow(manifestPath()));
+            if (!verifySealedJson(m)) {
+                why = "manifest CRC seal mismatch";
+            } else {
+                existing = m.at("fingerprint").asString();
+                valid = true;
+            }
+        } catch (const std::exception &e) {
+            why = std::string("manifest unreadable: ") + e.what();
+        }
+        if (!valid) {
+            // Corruption, not a user error: quarantine and rebuild
+            // the manifest from the job files.
+            quarantineFile(manifestPath(), why);
+        } else if (existing != fingerprint_) {
             throw std::runtime_error(
                 "run directory " + path_ +
                 " holds a different campaign/spec (fingerprint " +
@@ -80,23 +232,6 @@ RunDir::prepare(const CampaignSpec &spec,
         }
     }
     writeManifest();
-}
-
-void
-RunDir::writeFileAtomic(const std::string &path,
-                        const std::string &contents) const
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("cannot write " + tmp);
-        out << contents;
-        out.flush();
-        if (!out)
-            throw std::runtime_error("short write to " + tmp);
-    }
-    std::filesystem::rename(tmp, path);
 }
 
 void
@@ -117,11 +252,24 @@ RunDir::writeManifest() const
         e.set("config", j.label);
         e.set("seed", j.seed);
         e.set("file", jobFileName(j.index));
-        e.set("status", done_[i] ? "done" : "pending");
+        const auto fit = failed_.find(i);
+        if (done_[i]) {
+            e.set("status", "done");
+        } else if (fit != failed_.end()) {
+            e.set("status", "failed");
+            Json err = Json::object();
+            err.set("kind", fit->second.kind);
+            err.set("message", fit->second.message);
+            err.set("attempts", fit->second.attempts);
+            e.set("error", std::move(err));
+        } else {
+            e.set("status", "pending");
+        }
         jobs.push(std::move(e));
     }
     m.set("jobs", std::move(jobs));
-    writeFileAtomic(manifestPath(), m.dump(2) + "\n");
+    sealJson(m);
+    writeFileAtomicDurable(manifestPath(), m.dump(2) + "\n");
 }
 
 void
@@ -132,7 +280,7 @@ RunDir::flushManifest() const
 }
 
 std::map<std::size_t, SimResult>
-RunDir::loadCompleted(const std::vector<JobSpec> &jobs) const
+RunDir::loadCompleted(const std::vector<JobSpec> &jobs)
 {
     std::map<std::size_t, SimResult> out;
     if (!enabled())
@@ -141,20 +289,29 @@ RunDir::loadCompleted(const std::vector<JobSpec> &jobs) const
         const std::string path = jobFilePath(j.index);
         if (!std::filesystem::exists(path))
             continue;
+        std::string why;
         try {
-            const Json f = Json::parse(readFile(path));
-            if (f.at("fingerprint").asString() != fingerprint_ ||
-                f.at("index").asUint() != j.index ||
-                f.at("workload").asString() != j.workload ||
-                f.at("config").asString() != j.label ||
-                f.at("seed").asUint() != j.seed) {
+            const Json f = Json::parse(readFileOrThrow(path));
+            if (!verifySealedJson(f)) {
+                why = "CRC seal mismatch (torn write or bit flip)";
+            } else if (f.at("fingerprint").asString() !=
+                       fingerprint_) {
+                why = "foreign fingerprint";
+            } else if (f.at("index").asUint() != j.index ||
+                       f.at("workload").asString() != j.workload ||
+                       f.at("config").asString() != j.label ||
+                       f.at("seed").asUint() != j.seed) {
+                why = "job identity mismatch";
+            } else {
+                out.emplace(j.index,
+                            simResultFromJson(f.at("result")));
                 continue;
             }
-            out.emplace(j.index,
-                        simResultFromJson(f.at("result")));
-        } catch (const std::exception &) {
-            // Torn or foreign file: treat the job as not completed.
+        } catch (const std::exception &e) {
+            why = std::string("unreadable: ") + e.what();
         }
+        // Invalid artifact: quarantine it and let the job re-run.
+        quarantineFile(path, why);
     }
     return out;
 }
@@ -176,9 +333,15 @@ RunDir::recordResult(const JobSpec &job, const SimResult &result)
     f.set("config", job.label);
     f.set("seed", job.seed);
     f.set("result", toJson(result));
-    writeFileAtomic(jobFilePath(job.index), f.dump(2) + "\n");
+    sealJson(f);
+    writeFileAtomicDurable(jobFilePath(job.index), f.dump(2) + "\n");
+
+    // Crash here = the job file is durable but the manifest still
+    // says "pending"; resume rebuilds statuses from the job files.
+    fault::hit("exp.mid_record");
 
     done_[job.index] = true;
+    failed_.erase(job.index);
     writeManifest();
 
     // Crash here = the process dies with the job fully recorded; a
@@ -192,13 +355,24 @@ RunDir::markDone(std::size_t index)
     if (!enabled())
         return;
     done_[index] = true;
+    failed_.erase(index);
+}
+
+void
+RunDir::markFailed(const JobFailure &failure)
+{
+    if (!enabled())
+        return;
+    if (failure.index < done_.size() && !done_[failure.index])
+        failed_[failure.index] = failure;
 }
 
 LoadedRun
 loadRunDir(const std::string &path)
 {
     LoadedRun run;
-    const Json m = Json::parse(readFile(path + "/manifest.json"));
+    const Json m =
+        Json::parse(readFileOrThrow(path + "/manifest.json"));
     run.campaign = m.at("campaign").asString();
     run.title = m.at("title").asString();
     run.fingerprint = m.at("fingerprint").asString();
@@ -209,11 +383,21 @@ loadRunDir(const std::string &path)
         j.workload = e.at("workload").asString();
         j.label = e.at("config").asString();
         j.seed = e.at("seed").asUint();
+        if (const Json *err = e.find("error"); err != nullptr) {
+            JobFailure f;
+            f.index = j.index;
+            f.kind = err->at("kind").asString();
+            f.message = err->at("message").asString();
+            f.attempts =
+                static_cast<unsigned>(err->at("attempts").asUint());
+            run.failures.emplace(j.index, std::move(f));
+        }
         const std::string file =
             path + "/" + e.at("file").asString();
         try {
-            const Json f = Json::parse(readFile(file));
-            if (f.at("fingerprint").asString() == run.fingerprint) {
+            const Json f = Json::parse(readFileOrThrow(file));
+            if (verifySealedJson(f) &&
+                f.at("fingerprint").asString() == run.fingerprint) {
                 run.results.emplace(
                     j.index, simResultFromJson(f.at("result")));
             }
@@ -223,6 +407,92 @@ loadRunDir(const std::string &path)
         run.jobs.push_back(std::move(j));
     }
     return run;
+}
+
+VerifyReport
+verifyRunDir(const std::string &path)
+{
+    VerifyReport report;
+
+    // Quarantine inventory (informational, not an issue by itself).
+    const std::string qdir = path + "/quarantine";
+    if (std::filesystem::is_directory(qdir)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(qdir)) {
+            report.quarantineEntries.push_back(
+                entry.path().filename().string());
+        }
+        std::sort(report.quarantineEntries.begin(),
+                  report.quarantineEntries.end());
+    }
+
+    // Orphaned tmp files mean a writer died and nothing swept yet.
+    if (std::filesystem::is_directory(path)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(path)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string name =
+                entry.path().filename().string();
+            if (name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".tmp") == 0) {
+                report.issues.push_back(
+                    {name, "orphaned tmp file (torn write)"});
+            }
+        }
+    }
+
+    Json m;
+    try {
+        m = Json::parse(readFileOrThrow(path + "/manifest.json"));
+    } catch (const std::exception &e) {
+        report.issues.push_back(
+            {"manifest.json",
+             std::string("unreadable: ") + e.what()});
+        return report;
+    }
+    if (!verifySealedJson(m)) {
+        report.issues.push_back(
+            {"manifest.json", "CRC seal mismatch"});
+        return report;
+    }
+    report.manifestOk = true;
+    report.campaign = m.at("campaign").asString();
+    report.fingerprint = m.at("fingerprint").asString();
+
+    for (const Json &e : m.at("jobs").items()) {
+        ++report.jobsTotal;
+        const std::string status = e.at("status").asString();
+        const std::string file = e.at("file").asString();
+        if (status == "failed")
+            ++report.jobsFailed;
+        else if (status == "pending")
+            ++report.jobsPending;
+        else
+            ++report.jobsDone;
+        if (status != "done") {
+            // A pending/failed job may legitimately have no file.
+            continue;
+        }
+        try {
+            const Json f =
+                Json::parse(readFileOrThrow(path + "/" + file));
+            if (!verifySealedJson(f)) {
+                report.issues.push_back(
+                    {file, "CRC seal mismatch"});
+            } else if (f.at("fingerprint").asString() !=
+                       report.fingerprint) {
+                report.issues.push_back(
+                    {file, "foreign fingerprint"});
+            } else {
+                ++report.jobFilesOk;
+            }
+        } catch (const std::exception &ex) {
+            report.issues.push_back(
+                {file, std::string("unreadable: ") + ex.what()});
+        }
+    }
+    return report;
 }
 
 } // namespace cgp::exp

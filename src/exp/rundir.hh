@@ -1,19 +1,37 @@
 /**
  * @file
- * Resumable run directory for a campaign.
+ * Resumable run directory for a campaign, hardened against crashes
+ * and on-disk corruption.
  *
  * Layout:
  *
- *     <dir>/manifest.json   campaign identity + per-job status
+ *     <dir>/manifest.json   campaign identity + per-job status (sealed)
  *     <dir>/job-0000.json   one completed job: spec echo + SimResult
+ *     <dir>/quarantine/     artifacts that failed integrity checks
+ *     <dir>/.lock           pid of the process that owns the dir
  *
  * The per-job files are the source of truth for completion — a job
- * counts as done iff its file exists, parses, and carries the
- * campaign fingerprint and matching job key.  The manifest is a
- * human- and tool-friendly summary that is rewritten (atomically,
- * via tmp+rename) after every completion; a crash between a job file
- * and its manifest update therefore loses nothing, because resume
- * rescans the job files and rebuilds the statuses.
+ * counts as done iff its file exists, parses, passes its CRC32 seal
+ * (exp/integrity), and carries the campaign fingerprint and matching
+ * job key.  The manifest is a human- and tool-friendly summary that
+ * is rewritten (durable tmp+rename, see writeFileAtomicDurable)
+ * after every completion; a crash between a job file and its
+ * manifest update therefore loses nothing, because resume rescans
+ * the job files and rebuilds the statuses.
+ *
+ * Integrity: every artifact is sealed with a "crc32" member.  On
+ * open, orphaned *.tmp files from a killed writer are swept, and any
+ * artifact that is truncated, bit-flipped, unparsable, or from a
+ * different spec is moved to <dir>/quarantine/ — never deleted, so a
+ * human can autopsy it — and its job transparently re-runs.  A
+ * manifest that fails its integrity check is quarantined and rebuilt
+ * from the job files; a *valid* manifest with a different
+ * fingerprint still throws, because that is a user error (two
+ * campaigns sharing a directory), not corruption.
+ *
+ * Locking: prepare() takes <dir>/.lock.  A live foreign owner makes
+ * prepare() throw; a lock left by a dead process is stolen with a
+ * warning.  The lock is released by the destructor.
  *
  * Everything written here is deterministic: no timestamps, no thread
  * counts, fixed member order.  Running the same spec at any
@@ -21,9 +39,11 @@
  * property the determinism tests pin down.
  *
  * Crash points "exp.pre_record" (before the job file: the job is
- * lost) and "exp.record" (after job file + manifest: the job
- * survives) let the fault injector simulate a kill at either side of
- * the durability boundary.
+ * lost), "exp.mid_record" (job file durable, manifest stale: resume
+ * rebuilds), and "exp.record" (after job file + manifest: the job
+ * survives) let the fault injector simulate a kill on every side of
+ * the durability boundary; "exp.artifact_write" (inside the write
+ * path) can additionally tear the artifact being written.
  *
  * Not internally synchronized: the engine serializes record calls.
  */
@@ -36,6 +56,7 @@
 #include <vector>
 
 #include "exp/campaign.hh"
+#include "exp/scheduler.hh"
 #include "harness/simulator.hh"
 
 namespace cgp::exp
@@ -46,15 +67,22 @@ class RunDir
   public:
     /** @p path empty disables persistence (all calls no-op). */
     explicit RunDir(std::string path);
+    ~RunDir();
+
+    RunDir(const RunDir &) = delete;
+    RunDir &operator=(const RunDir &) = delete;
 
     bool enabled() const { return !path_.empty(); }
     const std::string &path() const { return path_; }
 
     /**
-     * Create the directory and install the job list.  An existing
-     * manifest must carry the same fingerprint.
+     * Create the directory, take its lock, sweep orphaned *.tmp
+     * files, quarantine a corrupt manifest, and install the job
+     * list.  An existing *valid* manifest must carry the same
+     * fingerprint.
      * @throws std::runtime_error if the directory already holds a
-     * different campaign (fingerprint mismatch).
+     * different campaign (fingerprint mismatch) or is locked by a
+     * live process.
      */
     void prepare(const CampaignSpec &spec,
                  const std::vector<JobSpec> &jobs,
@@ -62,33 +90,50 @@ class RunDir
 
     /**
      * Scan job files and return results of every validly completed
-     * job, keyed by job index.  Files that are missing, unparsable,
-     * or from a different spec are ignored (their jobs re-run).
+     * job, keyed by job index.  Files that are unparsable, fail
+     * their CRC seal, or belong to a different spec are quarantined
+     * (their jobs re-run); missing files are simply pending.
      */
     std::map<std::size_t, SimResult>
-    loadCompleted(const std::vector<JobSpec> &jobs) const;
+    loadCompleted(const std::vector<JobSpec> &jobs);
 
     /**
-     * Persist one completed job: write its file (atomic rename),
-     * then rewrite the manifest with the job marked "done".
+     * Persist one completed job: write its sealed file (durable
+     * atomic rename), then rewrite the manifest with the job marked
+     * "done".
      */
     void recordResult(const JobSpec &job, const SimResult &result);
 
     /** Mark @p index done without rewriting its file (resume). */
     void markDone(std::size_t index);
 
+    /** Record a terminal failure; the manifest entry becomes
+     *  status "failed" with the kind/message/attempts attached. */
+    void markFailed(const JobFailure &failure);
+
     /** Rewrite the manifest to match the in-memory statuses. */
     void flushManifest() const;
+
+    /** Artifacts quarantined so far by this RunDir. */
+    std::size_t quarantined() const { return quarantined_; }
+
+    /** Orphaned *.tmp files swept by prepare(). */
+    std::size_t sweptTmp() const { return sweptTmp_; }
 
     static std::string jobFileName(std::size_t index);
 
     std::string manifestPath() const;
     std::string jobFilePath(std::size_t index) const;
+    std::string quarantineDir() const;
 
   private:
     void writeManifest() const;
-    void writeFileAtomic(const std::string &path,
-                         const std::string &contents) const;
+    void acquireLock();
+    void releaseLock();
+    void sweepTmpFiles();
+    /** Move @p file into quarantine/ (never deletes data). */
+    void quarantineFile(const std::string &file,
+                        const std::string &why);
 
     std::string path_;
     std::string fingerprint_;
@@ -97,6 +142,10 @@ class RunDir
     std::uint64_t seed_ = 0;
     std::vector<JobSpec> jobs_;
     std::vector<bool> done_;
+    std::map<std::size_t, JobFailure> failed_;
+    std::size_t quarantined_ = 0;
+    std::size_t sweptTmp_ = 0;
+    bool holdsLock_ = false;
 };
 
 /** A run directory read back without re-running anything. */
@@ -110,6 +159,8 @@ struct LoadedRun
     std::vector<JobSpec> jobs;
     /** Results by job index; missing entries were never completed. */
     std::map<std::size_t, SimResult> results;
+    /** Jobs the manifest records as terminally failed. */
+    std::map<std::size_t, JobFailure> failures;
 };
 
 /**
@@ -117,6 +168,37 @@ struct LoadedRun
  * @throws std::runtime_error if the manifest is missing/corrupt.
  */
 LoadedRun loadRunDir(const std::string &path);
+
+/** One problem found by verifyRunDir. */
+struct VerifyIssue
+{
+    std::string file;    ///< artifact (relative to the run dir)
+    std::string problem; ///< what is wrong with it
+};
+
+/** Non-destructive integrity audit of a run directory. */
+struct VerifyReport
+{
+    bool manifestOk = false;
+    std::string campaign;
+    std::string fingerprint;
+    std::size_t jobsTotal = 0;
+    std::size_t jobsDone = 0;    ///< manifest status "done"
+    std::size_t jobsFailed = 0;  ///< manifest status "failed"
+    std::size_t jobsPending = 0; ///< manifest status "pending"
+    std::size_t jobFilesOk = 0;  ///< job files passing all checks
+    std::vector<VerifyIssue> issues;
+    std::vector<std::string> quarantineEntries;
+
+    bool ok() const { return manifestOk && issues.empty(); }
+};
+
+/**
+ * Audit @p path without modifying it: manifest parse + seal, every
+ * done job's file parse + seal + fingerprint, orphaned tmp files,
+ * quarantine inventory.  Backs `cgpbench verify`.
+ */
+VerifyReport verifyRunDir(const std::string &path);
 
 } // namespace cgp::exp
 

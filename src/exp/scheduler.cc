@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -9,11 +11,17 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hh"
+#include "util/logging.hh"
+#include "util/watchdog.hh"
+
 namespace cgp::exp
 {
 
 namespace
 {
+
+constexpr std::size_t noJob = static_cast<std::size_t>(-1);
 
 /** One worker's job deque (own pops at front, thieves at back). */
 struct WorkerQueue
@@ -44,28 +52,65 @@ struct WorkerQueue
     }
 };
 
+/**
+ * Per-worker state the hung-job monitor inspects.  The mutex makes
+ * the (job, start, token) triple atomic against the monitor, so a
+ * cancel can never land on the *next* job after the hung one
+ * finished at the wrong moment.
+ */
+struct WorkerSlot
+{
+    std::mutex mu;
+    std::size_t job = noJob;
+    std::chrono::steady_clock::time_point start{};
+    CancelToken token;
+};
+
+const char *
+classifyKind(const std::exception &e)
+{
+    if (dynamic_cast<const TimeoutError *>(&e) != nullptr ||
+        dynamic_cast<const CancelledError *>(&e) != nullptr) {
+        return "timeout";
+    }
+    if (dynamic_cast<const fault::TransientIoError *>(&e) != nullptr)
+        return "transient-io";
+    return "error";
+}
+
 } // anonymous namespace
 
+const char *
+toString(FailurePolicy policy)
+{
+    return policy == FailurePolicy::Strict ? "strict" : "degrade";
+}
+
+FailurePolicy
+failurePolicyFromString(const std::string &s)
+{
+    if (s == "strict")
+        return FailurePolicy::Strict;
+    if (s == "degrade")
+        return FailurePolicy::Degrade;
+    throw std::invalid_argument("unknown failure policy '" + s +
+                                "' (want strict|degrade)");
+}
+
 ScheduleStats
-runJobs(std::size_t n, unsigned threads,
+runJobs(std::size_t n, const SchedulerOptions &options,
         const std::function<void(std::size_t)> &fn)
 {
     ScheduleStats stats;
     if (n == 0)
         return stats;
 
-    unsigned workers = threads != 0
-        ? threads
+    unsigned workers = options.threads != 0
+        ? options.threads
         : std::max(1u, std::thread::hardware_concurrency());
     if (static_cast<std::size_t>(workers) > n)
         workers = static_cast<unsigned>(n);
     stats.threads = workers;
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return stats;
-    }
 
     std::vector<WorkerQueue> queues(workers);
     for (std::size_t i = 0; i < n; ++i)
@@ -73,10 +118,67 @@ runJobs(std::size_t n, unsigned threads,
 
     std::atomic<bool> cancelled{false};
     std::atomic<std::uint64_t> steals{0};
-    std::mutex error_mu;
-    std::exception_ptr error;
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> crashes{0};
+    std::mutex fail_mu;
+    std::vector<JobFailure> failures;
+    std::exception_ptr crash;
 
-    const auto worker = [&](unsigned self) {
+    std::vector<WorkerSlot> slots(workers);
+
+    const auto runOne = [&](unsigned self, std::size_t j) {
+        WorkerSlot &slot = slots[self];
+        {
+            std::lock_guard<std::mutex> lock(slot.mu);
+            slot.job = j;
+            slot.start = std::chrono::steady_clock::now();
+            slot.token.reset();
+        }
+        ScopedCancelToken scoped(slot.token);
+        try {
+            fn(j);
+            completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const fault::CrashInjected &) {
+            // Simulated process death: both policies stop the world
+            // and rethrow with the type intact (the chaos harness
+            // catches CrashInjected specifically).
+            crashes.fetch_add(1, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(fail_mu);
+                if (!crash)
+                    crash = std::current_exception();
+            }
+            cancelled.store(true, std::memory_order_relaxed);
+        } catch (const std::exception &e) {
+            JobFailure f;
+            f.index = j;
+            f.kind = classifyKind(e);
+            f.message = e.what();
+            {
+                std::lock_guard<std::mutex> lock(fail_mu);
+                failures.push_back(std::move(f));
+            }
+            if (options.policy == FailurePolicy::Strict)
+                cancelled.store(true, std::memory_order_relaxed);
+        } catch (...) {
+            JobFailure f;
+            f.index = j;
+            f.kind = "error";
+            f.message = "unknown exception";
+            {
+                std::lock_guard<std::mutex> lock(fail_mu);
+                failures.push_back(std::move(f));
+            }
+            if (options.policy == FailurePolicy::Strict)
+                cancelled.store(true, std::memory_order_relaxed);
+        }
+        {
+            std::lock_guard<std::mutex> lock(slot.mu);
+            slot.job = noJob;
+        }
+    };
+
+    const auto workerLoop = [&](unsigned self) {
         for (;;) {
             if (cancelled.load(std::memory_order_relaxed))
                 return;
@@ -92,31 +194,96 @@ runJobs(std::size_t n, unsigned threads,
                     return;
                 steals.fetch_add(1, std::memory_order_relaxed);
             }
-            try {
-                fn(*job);
-            } catch (...) {
-                {
-                    std::lock_guard<std::mutex> lock(error_mu);
-                    if (!error)
-                        error = std::current_exception();
-                }
-                cancelled.store(true, std::memory_order_relaxed);
-                return;
-            }
+            runOne(self, *job);
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(worker, w);
-    for (std::thread &t : pool)
-        t.join();
+    // Hung-shard monitor: flips the CancelToken of any worker that
+    // has sat on one job longer than the budget.  The simulation
+    // loop polls the token and unwinds with CancelledError, which
+    // classifies as a "timeout" failure above.
+    std::thread monitor;
+    std::mutex mon_mu;
+    std::condition_variable mon_cv;
+    bool mon_stop = false;
+    if (options.hangTimeoutSeconds > 0.0) {
+        monitor = std::thread([&] {
+            const std::chrono::duration<double> budget(
+                options.hangTimeoutSeconds);
+            const auto poll = std::chrono::milliseconds(std::max<long>(
+                5,
+                static_cast<long>(options.hangTimeoutSeconds * 250)));
+            std::unique_lock<std::mutex> lock(mon_mu);
+            while (!mon_cv.wait_for(lock, poll,
+                                    [&] { return mon_stop; })) {
+                for (WorkerSlot &slot : slots) {
+                    std::lock_guard<std::mutex> slock(slot.mu);
+                    if (slot.job == noJob || slot.token.cancelled())
+                        continue;
+                    if (std::chrono::steady_clock::now() - slot.start >
+                        budget) {
+                        cgp_warn("hung-job watchdog: cancelling job ",
+                                 slot.job, " after ",
+                                 options.hangTimeoutSeconds, "s");
+                        slot.token.cancel();
+                    }
+                }
+            }
+        });
+    }
+
+    if (workers <= 1) {
+        workerLoop(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(workerLoop, w);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (monitor.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mon_mu);
+            mon_stop = true;
+        }
+        mon_cv.notify_all();
+        monitor.join();
+    }
 
     stats.steals = steals.load();
-    if (error)
-        std::rethrow_exception(error);
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.index < b.index;
+              });
+    stats.failures = failures;
+    const std::size_t ended = completed.load() + failures.size() +
+        crashes.load();
+    stats.cancelledJobs = n > ended ? n - ended : 0;
+
+    if (crash)
+        std::rethrow_exception(crash);
+    if (options.policy == FailurePolicy::Strict &&
+        !failures.empty()) {
+        std::string msg = "campaign aborted (strict policy): " +
+            std::to_string(failures.size()) + " job(s) failed";
+        for (const JobFailure &f : failures) {
+            msg += "\n  job " + std::to_string(f.index) + " [" +
+                f.kind + "]: " + f.message;
+        }
+        throw CampaignAborted(msg, std::move(failures));
+    }
     return stats;
+}
+
+ScheduleStats
+runJobs(std::size_t n, unsigned threads,
+        const std::function<void(std::size_t)> &fn)
+{
+    SchedulerOptions options;
+    options.threads = threads;
+    return runJobs(n, options, fn);
 }
 
 } // namespace cgp::exp

@@ -40,6 +40,12 @@ FaultInjector::crashPoints()
                           ///< persisted (the job is lost on crash)
         "exp.record",     ///< campaign engine, after a job result and
                           ///< manifest are durable (job survives)
+        "exp.job",            ///< inside a campaign job, before the
+                              ///< simulation runs (retry/degrade path)
+        "exp.mid_record",     ///< job file durable, manifest stale
+        "exp.artifact_write", ///< inside the durable atomic write
+                              ///< (TornWrite tears the artifact)
+        "exp.pre_bench",      ///< before the BENCH_*.json is written
     };
     return points;
 }

@@ -1,0 +1,37 @@
+#include "util/crc.hh"
+
+#include <array>
+
+namespace cgp
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, std::string_view data)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    for (const char ch : data) {
+        const auto byte = static_cast<std::uint8_t>(ch);
+        crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc;
+}
+
+} // namespace cgp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for artifact
+ * integrity.  Every JSON artifact the experiment engine persists —
+ * per-job result files, run-directory manifests, BENCH_*.json —
+ * carries a CRC over its payload so a torn write, a bit flip, or a
+ * partially-synced file is *detected* on resume instead of silently
+ * poisoning campaign results.
+ *
+ * The checksum is deliberately cheap and deterministic: the same
+ * bytes always produce the same value, so sealed artifacts stay
+ * byte-identical across thread counts and resumes — the property the
+ * chaos audit byte-compares.
+ */
+
+#ifndef CGP_UTIL_CRC_HH
+#define CGP_UTIL_CRC_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace cgp
+{
+
+/**
+ * Continue a CRC32 over @p data.  @p crc is the value returned by a
+ * previous call (or crc32Init for the first block).
+ */
+std::uint32_t crc32Update(std::uint32_t crc, std::string_view data);
+
+inline constexpr std::uint32_t crc32Init = 0xFFFFFFFFu;
+
+/** Finalize an incremental CRC (the standard xor-out). */
+inline std::uint32_t
+crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** One-shot CRC32 of @p data ("123456789" -> 0xCBF43926). */
+inline std::uint32_t
+crc32(std::string_view data)
+{
+    return crc32Final(crc32Update(crc32Init, data));
+}
+
+} // namespace cgp
+
+#endif // CGP_UTIL_CRC_HH

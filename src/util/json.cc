@@ -163,6 +163,20 @@ Json::set(std::string key, Json v)
     return *this;
 }
 
+bool
+Json::remove(std::string_view key)
+{
+    if (type_ != Type::Object)
+        return false;
+    for (auto it = obj_.begin(); it != obj_.end(); ++it) {
+        if (it->first == key) {
+            obj_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 const Json *
 Json::find(std::string_view key) const
 {

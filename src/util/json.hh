@@ -92,6 +92,8 @@ class Json
     /// on first set).  set() replaces an existing key in place so the
     /// member order stays stable; it returns *this for chaining.
     Json &set(std::string key, Json v);
+    /** Erase @p key; returns true if a member was removed. */
+    bool remove(std::string_view key);
     const Json *find(std::string_view key) const;
     const Json &at(std::string_view key) const;
     bool contains(std::string_view key) const

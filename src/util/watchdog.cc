@@ -1,0 +1,25 @@
+#include "util/watchdog.hh"
+
+namespace cgp
+{
+
+namespace
+{
+
+thread_local CancelToken *currentToken = nullptr;
+
+} // anonymous namespace
+
+CancelToken *
+currentCancelToken()
+{
+    return currentToken;
+}
+
+void
+setCurrentCancelToken(CancelToken *token)
+{
+    currentToken = token;
+}
+
+} // namespace cgp

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "exp/campaign.hh"
 #include "exp/campaigns.hh"
@@ -21,6 +24,7 @@
 #include "exp/scheduler.hh"
 #include "fault/fault.hh"
 #include "harness/workload.hh"
+#include "util/watchdog.hh"
 
 namespace cgp::exp
 {
@@ -201,6 +205,132 @@ TEST(Scheduler, ZeroJobsIsANoOp)
     const ScheduleStats stats =
         runJobs(0, 4, [](std::size_t) { FAIL(); });
     EXPECT_EQ(stats.steals, 0u);
+}
+
+TEST(Scheduler, FailurePolicyRoundTripsAndRejectsJunk)
+{
+    EXPECT_EQ(failurePolicyFromString("strict"),
+              FailurePolicy::Strict);
+    EXPECT_EQ(failurePolicyFromString("degrade"),
+              FailurePolicy::Degrade);
+    EXPECT_STREQ(toString(FailurePolicy::Strict), "strict");
+    EXPECT_STREQ(toString(FailurePolicy::Degrade), "degrade");
+    EXPECT_THROW(failurePolicyFromString("lenient"),
+                 std::invalid_argument);
+}
+
+TEST(Scheduler, StrictAbortCarriesTheAggregatedFailures)
+{
+    bool ran_after = false;
+    try {
+        SchedulerOptions opt;
+        opt.threads = 1;
+        runJobs(10, opt, [&ran_after](std::size_t i) {
+            if (i == 3)
+                throw std::runtime_error("boom 3");
+            if (i > 3)
+                ran_after = true;
+        });
+        FAIL() << "expected CampaignAborted";
+    } catch (const CampaignAborted &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].index, 3u);
+        EXPECT_EQ(e.failures()[0].kind, "error");
+        EXPECT_EQ(e.failures()[0].message, "boom 3");
+        EXPECT_NE(std::string(e.what()).find("boom 3"),
+                  std::string::npos);
+    }
+    // Strict cancels everything queued behind the failure.
+    EXPECT_FALSE(ran_after);
+}
+
+TEST(Scheduler, DegradeRecordsEveryFailureAndFinishesTheRest)
+{
+    constexpr std::size_t n = 40;
+    std::vector<std::atomic<int>> hits(n);
+    SchedulerOptions opt;
+    opt.threads = 4;
+    opt.policy = FailurePolicy::Degrade;
+    const ScheduleStats stats =
+        runJobs(n, opt, [&hits](std::size_t i) {
+            hits[i]++;
+            if (i % 7 == 0) {
+                throw std::runtime_error(
+                    "job " + std::to_string(i) + " failed");
+            }
+        });
+
+    ASSERT_EQ(stats.failures.size(), 6u); // 0, 7, ..., 35
+    for (std::size_t f = 0; f < stats.failures.size(); ++f) {
+        EXPECT_EQ(stats.failures[f].index, f * 7);
+        EXPECT_EQ(stats.failures[f].kind, "error");
+    }
+    EXPECT_EQ(stats.cancelledJobs, 0u);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i; // every job still ran
+}
+
+TEST(Scheduler, ClassifiesFailuresByExceptionType)
+{
+    SchedulerOptions opt;
+    opt.threads = 1;
+    opt.policy = FailurePolicy::Degrade;
+    const ScheduleStats stats = runJobs(3, opt, [](std::size_t i) {
+        if (i == 0)
+            throw TimeoutError("over budget");
+        if (i == 1)
+            throw fault::TransientIoError("flaky volume");
+        throw std::logic_error("plain bug");
+    });
+    ASSERT_EQ(stats.failures.size(), 3u);
+    EXPECT_EQ(stats.failures[0].kind, "timeout");
+    EXPECT_EQ(stats.failures[1].kind, "transient-io");
+    EXPECT_EQ(stats.failures[2].kind, "error");
+    EXPECT_EQ(stats.failures[1].message, "flaky volume");
+}
+
+TEST(Scheduler, HungJobIsCancelledByTheMonitorAsATimeout)
+{
+    SchedulerOptions opt;
+    opt.threads = 2;
+    opt.policy = FailurePolicy::Degrade;
+    opt.hangTimeoutSeconds = 0.05;
+    const ScheduleStats stats = runJobs(3, opt, [](std::size_t i) {
+        if (i != 0)
+            return;
+        // Livelock stand-in: spin until the monitor flips this
+        // worker's token (the simulator core polls the same way).
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::seconds(10);
+        while (!cancelRequested()) {
+            if (std::chrono::steady_clock::now() > deadline)
+                throw std::runtime_error("monitor never fired");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        throw CancelledError("cancelled by the hung-job monitor");
+    });
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].index, 0u);
+    EXPECT_EQ(stats.failures[0].kind, "timeout");
+}
+
+TEST(Retry, BackoffIsDeterministicExponentialWithBoundedJitter)
+{
+    for (unsigned attempt = 1; attempt <= 10; ++attempt) {
+        const unsigned ms = retryBackoffMs(1234, attempt);
+        // Pure function: the same job backs off identically no
+        // matter which worker retries it or at what -j.
+        EXPECT_EQ(ms, retryBackoffMs(1234, attempt)) << attempt;
+        const unsigned shift = attempt < 6 ? attempt : 6;
+        EXPECT_GE(ms, 10u << shift);
+        EXPECT_LT(ms, (10u << shift) + 10u);
+    }
+    // The jitter decorrelates jobs (no thundering herd).
+    std::set<unsigned> delays;
+    for (std::uint64_t seed = 0; seed < 10; ++seed)
+        delays.insert(retryBackoffMs(seed, 1));
+    EXPECT_GT(delays.size(), 1u);
 }
 
 /**
@@ -443,6 +573,307 @@ TEST_F(EngineTest, UnknownWorkloadNameThrows)
     opt.verbose = false;
     EXPECT_THROW(runCampaign(s, provider(), opt),
                  std::invalid_argument);
+}
+
+TEST_F(EngineTest, TransientFailureIsRetriedToSuccess)
+{
+    fault::FaultInjector inj;
+    inj.arm("exp.job", {fault::FaultKind::TransientIo, 0, 1});
+    fault::ScopedGlobalInjector scoped(inj);
+
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.retries = 2;
+    const CampaignRun run = runCampaign(spec(), provider(), opt);
+
+    ASSERT_EQ(inj.fired().size(), 1u); // one injected failure...
+    EXPECT_EQ(run.executed, 4u);       // ...absorbed by the retry
+    EXPECT_TRUE(run.failures.empty());
+    for (const SimResult &r : run.results)
+        EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(EngineTest, ExhaustedRetriesFailTheJobAsTransientIo)
+{
+    fault::FaultInjector inj;
+    inj.arm("exp.job", {fault::FaultKind::TransientIo, 0, 99});
+    fault::ScopedGlobalInjector scoped(inj);
+
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.retries = 1; // attempt 1 + one retry, both injected
+    try {
+        runCampaign(spec(), provider(), opt);
+        FAIL() << "expected CampaignAborted";
+    } catch (const CampaignAborted &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].index, 0u);
+        EXPECT_EQ(e.failures()[0].kind, "transient-io");
+        EXPECT_EQ(e.failures()[0].attempts, 2u);
+    }
+}
+
+TEST_F(EngineTest, DegradeCompletesHealthyJobsAndRecordsFailures)
+{
+    // Jobs 1 and 3 (the "tiny" config) blow a 2k-cycle budget; job 0
+    // additionally eats an injected transient failure with no retry
+    // budget.  Only job 2 is healthy.
+    CampaignSpec s = spec();
+    SimConfig tiny = SimConfig::o5Om();
+    tiny.core.maxCycles = 2'000;
+    s.explicitConfigs = {SimConfig::o5Om(), tiny};
+    s.explicitLabels = {"base", "tiny"};
+    s.policy = FailurePolicy::Degrade;
+
+    fault::FaultInjector inj;
+    inj.arm("exp.job", {fault::FaultKind::TransientIo, 0, 1});
+
+    const std::string dir = freshDir("degrade");
+    EngineOptions opt;
+    opt.threads = 1; // job order == index order: the fault hits job 0
+    opt.verbose = false;
+    opt.runDir = dir;
+    CampaignRun run;
+    {
+        fault::ScopedGlobalInjector scoped(inj);
+        run = runCampaign(s, provider(), opt);
+    }
+
+    EXPECT_EQ(run.executed, 1u);
+    ASSERT_EQ(run.failures.size(), 3u);
+    EXPECT_EQ(run.failures[0].index, 0u);
+    EXPECT_EQ(run.failures[0].kind, "transient-io");
+    EXPECT_EQ(run.failures[1].index, 1u);
+    EXPECT_EQ(run.failures[1].kind, "timeout");
+    EXPECT_NE(run.failures[1].message.find("cycle"),
+              std::string::npos);
+    EXPECT_EQ(run.failures[2].index, 3u);
+    EXPECT_EQ(run.failures[2].kind, "timeout");
+    EXPECT_GT(run.results[2].cycles, 0u); // the healthy job ran
+
+    // The manifest records the failures for `cgpbench report`.
+    const LoadedRun loaded = loadRunDir(dir);
+    ASSERT_EQ(loaded.failures.size(), 3u);
+    EXPECT_EQ(loaded.failures.at(0).kind, "transient-io");
+    EXPECT_EQ(loaded.failures.at(1).kind, "timeout");
+    EXPECT_EQ(loaded.failures.at(3).kind, "timeout");
+    EXPECT_EQ(loaded.results.size(), 1u);
+
+    // A resume re-runs failed jobs: the transient one (no fault
+    // armed now) succeeds, the budget-starved pair fails again.
+    const CampaignRun again = runCampaign(s, provider(), opt);
+    EXPECT_EQ(again.skipped, 1u);
+    EXPECT_EQ(again.executed, 1u);
+    ASSERT_EQ(again.failures.size(), 2u);
+    EXPECT_EQ(again.failures[0].index, 1u);
+    EXPECT_EQ(again.failures[1].index, 3u);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, WatchdogCycleBudgetClassifiesRunawaysAsTimeouts)
+{
+    EngineOptions opt;
+    opt.threads = 2;
+    opt.verbose = false;
+    opt.watchdogCycles = 1'000; // far below any real job
+    opt.onFail = FailurePolicy::Degrade; // CLI-style override
+    const CampaignRun run = runCampaign(spec(), provider(), opt);
+
+    EXPECT_EQ(run.executed, 0u);
+    ASSERT_EQ(run.failures.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(run.failures[i].index, i);
+        EXPECT_EQ(run.failures[i].kind, "timeout");
+    }
+}
+
+TEST_F(EngineTest, CorruptedArtifactsAreQuarantinedAndRerun)
+{
+    const std::string dir = freshDir("fuzz");
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun ref = runCampaign(spec(), provider(), opt);
+
+    // Bit-flip one job file, truncate another, tear the manifest.
+    const auto rewrite = [](const fs::path &p,
+                            const std::string &bytes) {
+        std::ofstream(p, std::ios::binary | std::ios::trunc)
+            << bytes;
+    };
+    std::string flipped = slurp(fs::path(dir) / "job-0000.json");
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x01);
+    rewrite(fs::path(dir) / "job-0000.json", flipped);
+
+    const std::string halfJob = slurp(fs::path(dir) / "job-0001.json");
+    rewrite(fs::path(dir) / "job-0001.json",
+            halfJob.substr(0, halfJob.size() / 2));
+
+    const std::string halfMan = slurp(fs::path(dir) / "manifest.json");
+    rewrite(fs::path(dir) / "manifest.json",
+            halfMan.substr(0, halfMan.size() / 2));
+
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(resumed.quarantined, 3u);
+    EXPECT_EQ(resumed.skipped, 2u);
+    EXPECT_EQ(resumed.executed, 2u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(resumed.results[i], ref.results[i]) << i;
+
+    // Nothing was deleted: the damaged artifacts sit in quarantine.
+    const VerifyReport report = verifyRunDir(dir);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.jobsDone, 4u);
+    EXPECT_EQ(report.jobFilesOk, 4u);
+    EXPECT_EQ(report.quarantineEntries.size(), 3u);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, OrphanedTmpFilesAreSweptOnOpen)
+{
+    const std::string dir = freshDir("sweep");
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    runCampaign(spec(), provider(), opt);
+
+    // A writer killed mid-write leaves *.tmp droppings behind.
+    std::ofstream(fs::path(dir) / "job-0002.json.tmp") << "{ half";
+    std::ofstream(fs::path(dir) / "manifest.json.tmp") << "{";
+
+    const VerifyReport before = verifyRunDir(dir);
+    EXPECT_FALSE(before.ok());
+    EXPECT_EQ(before.issues.size(), 2u);
+
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(resumed.skipped, 4u);
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "job-0002.json.tmp"));
+    EXPECT_FALSE(fs::exists(fs::path(dir) / "manifest.json.tmp"));
+    EXPECT_TRUE(verifyRunDir(dir).ok());
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, RunDirLockRejectsALiveOwnerAndStealsAStaleOne)
+{
+    const std::string dir = freshDir("lock");
+    fs::create_directories(dir);
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+
+    // pid 1 is always alive (and never this test process).
+    std::ofstream(fs::path(dir) / ".lock") << "1\n";
+    EXPECT_THROW(runCampaign(spec(), provider(), opt),
+                 std::runtime_error);
+
+    // A dead owner's lock is stolen and the campaign proceeds.
+    std::ofstream(fs::path(dir) / ".lock",
+                  std::ios::binary | std::ios::trunc)
+        << "999999999\n";
+    const CampaignRun run = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(run.executed, 4u);
+    // Released when the engine's RunDir went out of scope.
+    EXPECT_FALSE(fs::exists(fs::path(dir) / ".lock"));
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, RunDirLockIsExclusiveWithinTheProcess)
+{
+    const std::string dir = freshDir("lock2");
+    const CampaignSpec s = spec();
+    const auto jobs = expandJobs(s);
+    const std::string fp = fingerprint(s, jobs);
+
+    RunDir first(dir);
+    first.prepare(s, jobs, fp);
+    RunDir second(dir);
+    EXPECT_THROW(second.prepare(s, jobs, fp), std::runtime_error);
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, MidRecordCrashKeepsTheDurableJobFile)
+{
+    EngineOptions ref_opt;
+    ref_opt.threads = 1;
+    ref_opt.verbose = false;
+    const CampaignRun ref = runCampaign(spec(), provider(), ref_opt);
+
+    const std::string dir = freshDir("midrecord");
+    fault::FaultInjector inj;
+    inj.arm("exp.mid_record", {fault::FaultKind::Crash, 0, 1});
+    {
+        fault::ScopedGlobalInjector scoped(inj);
+        EngineOptions opt;
+        opt.threads = 1;
+        opt.verbose = false;
+        opt.runDir = dir;
+        EXPECT_THROW(runCampaign(spec(), provider(), opt),
+                     fault::CrashInjected);
+    }
+    // The job file hit disk before the crash; the stale manifest
+    // (still "pending") must not lose it on resume.
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_EQ(resumed.skipped, 1u);
+    EXPECT_EQ(resumed.executed, 3u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(resumed.results[i], ref.results[i]) << i;
+    fs::remove_all(dir);
+}
+
+TEST_F(EngineTest, TornJobFileWriteIsCaughtByTheSealOnResume)
+{
+    const std::string dir = freshDir("torn");
+    fault::FaultInjector inj;
+    // Hits on the durable-write path: 1 = .lock, 2 = the prepare
+    // manifest, 3 = the resume flush, 4 = job 0's file — tear that.
+    inj.arm("exp.artifact_write",
+            {fault::FaultKind::TornWrite, 3, 1});
+    {
+        fault::ScopedGlobalInjector scoped(inj);
+        EngineOptions opt;
+        opt.threads = 1;
+        opt.verbose = false;
+        opt.runDir = dir;
+        EXPECT_THROW(runCampaign(spec(), provider(), opt),
+                     fault::CrashInjected);
+    }
+    ASSERT_EQ(inj.fired().size(), 1u);
+    EXPECT_EQ(inj.fired()[0].point, "exp.artifact_write");
+    // The half-written bytes were published under the final name:
+    // only the CRC seal can tell them from a good artifact.
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "job-0000.json"));
+
+    EngineOptions opt;
+    opt.threads = 1;
+    opt.verbose = false;
+    opt.runDir = dir;
+    const CampaignRun resumed = runCampaign(spec(), provider(), opt);
+    EXPECT_GE(resumed.quarantined, 1u);
+    EXPECT_EQ(resumed.skipped, 0u);
+    EXPECT_EQ(resumed.executed, 4u);
+    fs::remove_all(dir);
+}
+
+TEST(Campaign, ArbiterSweepCoversTheKnobCube)
+{
+    const CampaignSpec s = paperCampaign("arbiter-sweep");
+    const auto jobs = expandJobs(s);
+    EXPECT_EQ(jobs.size(), 54u); // 3x3x3 configs, 2 workloads
+    EXPECT_EQ(jobs[0].label, "acc10+probe4+filt64");
+    const auto &ablations = campaignGroup("ablations");
+    EXPECT_NE(std::find(ablations.begin(), ablations.end(),
+                        "arbiter-sweep"),
+              ablations.end());
 }
 
 } // namespace

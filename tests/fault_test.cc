@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "db/heapfile.hh"
 #include "db/recovery.hh"
 #include "db/txn.hh"
+#include "exp/chaosloop.hh"
+#include "exp/engine.hh"
 #include "fault/fault.hh"
 #include "harness/simulator.hh"
 #include "harness/workload.hh"
@@ -33,6 +37,12 @@ TEST(FaultInjector, RegistryKnowsTheCompiledInPoints)
     EXPECT_GE(points.size(), 8u);
     EXPECT_TRUE(fault::FaultInjector::isRegistered("wal.pre_force"));
     EXPECT_TRUE(fault::FaultInjector::isRegistered("prefetch.issue"));
+    // The campaign engine's crash points (exp/rundir, exp/engine).
+    EXPECT_TRUE(fault::FaultInjector::isRegistered("exp.job"));
+    EXPECT_TRUE(fault::FaultInjector::isRegistered("exp.mid_record"));
+    EXPECT_TRUE(
+        fault::FaultInjector::isRegistered("exp.artifact_write"));
+    EXPECT_TRUE(fault::FaultInjector::isRegistered("exp.pre_bench"));
     EXPECT_FALSE(fault::FaultInjector::isRegistered("no.such.point"));
 }
 
@@ -368,6 +378,57 @@ TEST(FailSoft, SimulationSurvivesAnInjectedPrefetchFault)
     const SimResult clean = runSimulation(
         wl, SimConfig::withNL(LayoutKind::Original, 4));
     EXPECT_FALSE(clean.prefetchDegraded);
+}
+
+// ---------------------------------------------------------------
+// Chaos loop: the kill/resume/corrupt audit over the campaign
+// engine (exp/chaosloop), on a tiny in-memory campaign.
+
+TEST(ChaosLoop, ConvergesByteIdenticalThroughKillsAndCorruption)
+{
+    exp::CampaignSpec campaign;
+    campaign.name = "chaos-unit";
+    campaign.workloads = {"chaos-a", "chaos-b"};
+    campaign.explicitConfigs = {
+        SimConfig::o5Om(),
+        SimConfig::withCgp(LayoutKind::PettisHansen, 4)};
+
+    auto make = [](const char *name, unsigned funcs) {
+        spec::SpecProgramSpec s;
+        s.name = name;
+        s.functions = funcs;
+        s.hotFunctions = funcs / 2;
+        s.workPerCall = 50.0;
+        s.trainInstrs = 60'000;
+        s.testInstrs = 15'000;
+        return WorkloadFactory::buildSpec(s);
+    };
+    exp::InMemoryProvider provider(
+        {make("chaos-a", 40), make("chaos-b", 60)});
+
+    exp::ChaosLoopConfig config;
+    config.cycles = 25;
+    config.threads = 2;
+    config.retries = 2;
+    config.dir = (std::filesystem::temp_directory_path() /
+                  "cgp-chaos-unit")
+                     .string();
+
+    exp::ChaosLoopHarness harness(campaign, provider, config);
+    const exp::ChaosLoopResult result = harness.run();
+
+    EXPECT_EQ(result.cycles, 25u);
+    EXPECT_TRUE(result.identical) << result.mismatch;
+    // The audit is vacuous unless the loop actually hurt the run.
+    EXPECT_GE(result.crashes, 1u);
+    EXPECT_GE(result.corruptions, 1u);
+    EXPECT_GE(result.quarantined, 1u);
+    std::filesystem::remove_all(config.dir);
+
+    exp::ChaosLoopConfig bad;
+    EXPECT_THROW(
+        exp::ChaosLoopHarness(campaign, provider, bad).run(),
+        std::invalid_argument);
 }
 
 } // namespace

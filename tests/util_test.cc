@@ -12,10 +12,12 @@
 #include <stdexcept>
 
 #include "util/bitops.hh"
+#include "util/crc.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/watchdog.hh"
 
 namespace cgp
 {
@@ -272,6 +274,60 @@ TEST(Logging, PanicThrowsInTestMode)
     EXPECT_THROW(cgp_fatal("bad config"), std::runtime_error);
     EXPECT_THROW(cgp_assert(1 == 2, "math broke"), std::logic_error);
     detail::setThrowOnError(false);
+}
+
+TEST(Crc32, MatchesTheIeeeKnownAnswer)
+{
+    // The CRC32 check value every IEEE 802.3 implementation must
+    // reproduce.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot)
+{
+    const std::string text = "the quick brown fox";
+    std::uint32_t state = crc32Init;
+    state = crc32Update(state, text.substr(0, 7));
+    state = crc32Update(state, text.substr(7));
+    EXPECT_EQ(crc32Final(state), crc32(text));
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    std::string text = "{\"cycles\": 123456, \"instrs\": 7890}";
+    const std::uint32_t clean = crc32(text);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        std::string flipped = text;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+        EXPECT_NE(crc32(flipped), clean) << "flip at " << i;
+    }
+    // Truncation is also caught.
+    EXPECT_NE(crc32(text.substr(0, text.size() / 2)), clean);
+}
+
+TEST(Watchdog, CancelTokenRoundTrip)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Watchdog, ScopedTokenBindsThread)
+{
+    EXPECT_FALSE(cancelRequested()); // no token installed
+    CancelToken token;
+    {
+        ScopedCancelToken scoped(token);
+        EXPECT_FALSE(cancelRequested());
+        token.cancel();
+        EXPECT_TRUE(cancelRequested());
+    }
+    // Uninstalled on scope exit.
+    EXPECT_FALSE(cancelRequested());
 }
 
 } // namespace
