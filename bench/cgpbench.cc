@@ -430,6 +430,69 @@ cmdReport(const Options &opt)
     }
     t.print(std::cout);
 
+    // Server-model campaigns get a queueing summary and a per-core
+    // breakdown; plain campaigns print only the job rows above.
+    bool any_server = false;
+    for (const auto &[index, r] : run.results) {
+        if (r.serverEnabled) {
+            any_server = true;
+            break;
+        }
+    }
+    if (any_server) {
+        std::cout << "\n";
+        TablePrinter s("Server summary");
+        s.setHeader({"job", "workload", "config", "cores",
+                     "sessions", "queries", "q/Mcycle",
+                     "q/sec @1GHz", "p50", "p95", "p99"});
+        for (const JobSpec &j : run.jobs) {
+            const auto it = run.results.find(j.index);
+            if (it == run.results.end() ||
+                !it->second.serverEnabled)
+                continue;
+            const auto &srv = it->second.server;
+            s.addRow({std::to_string(j.index), j.workload, j.label,
+                      TablePrinter::num(srv.cores),
+                      TablePrinter::num(srv.sessions),
+                      TablePrinter::num(srv.queriesServed),
+                      TablePrinter::fixed(srv.queriesPerMcycle(), 2),
+                      TablePrinter::fixed(
+                          srv.queriesPerMcycle() * 1000.0, 0),
+                      TablePrinter::num(srv.latencyP50),
+                      TablePrinter::num(srv.latencyP95),
+                      TablePrinter::num(srv.latencyP99)});
+        }
+        s.print(std::cout);
+
+        std::cout << "\n";
+        TablePrinter pc("Per-core breakdown");
+        pc.setHeader({"job", "core", "util", "instrs", "I$ misses",
+                      "D$ misses", "bus lines", "port wait",
+                      "queries", "binds"});
+        for (const JobSpec &j : run.jobs) {
+            const auto it = run.results.find(j.index);
+            if (it == run.results.end() ||
+                !it->second.serverEnabled)
+                continue;
+            const auto &srv = it->second.server;
+            for (std::size_t c = 0; c < srv.perCore.size(); ++c) {
+                const auto &core = srv.perCore[c];
+                pc.addRow({std::to_string(j.index),
+                           std::to_string(c),
+                           TablePrinter::percent(core.utilization()),
+                           TablePrinter::num(core.instrs),
+                           TablePrinter::num(core.icacheMisses),
+                           TablePrinter::num(core.dcacheMisses),
+                           TablePrinter::num(core.busLines),
+                           TablePrinter::num(core.portWaitCycles),
+                           TablePrinter::num(core.queries),
+                           TablePrinter::num(core.binds)});
+            }
+            pc.addRule();
+        }
+        pc.print(std::cout);
+    }
+
     if (!run.failures.empty()) {
         std::cout << "\n";
         TablePrinter f("Failed jobs");

@@ -42,8 +42,13 @@ Core::peek(DynInst &out)
 {
     if (!pending_.has_value()) {
         DynInst inst;
-        if (streamDone_ || !stream_.next(inst)) {
-            streamDone_ = true;
+        if (streamDone_)
+            return false;
+        if (!stream_.next(inst)) {
+            // A streaming source may be merely dry (another session
+            // owns the next events); only a reported end is final.
+            if (stream_.endOfStream())
+                streamDone_ = true;
             return false;
         }
         pending_ = inst;
@@ -345,66 +350,81 @@ Core::doFetch()
 }
 
 void
-Core::run()
+Core::beginRun()
 {
-    const Cycle safety_cap = ~0ull;
-    const bool wall_budget = config_.maxWallSeconds > 0.0;
-    const auto wall_start = std::chrono::steady_clock::now();
-    bool work_left = true;
-    while (work_left && now_ < safety_cap) {
-        if (config_.maxInstrs != 0 &&
-            committed_.value() >= config_.maxInstrs) {
-            break;
+    wallBudget_ = config_.maxWallSeconds > 0.0;
+    wallStart_ = std::chrono::steady_clock::now();
+}
+
+void
+Core::stepCycle()
+{
+    if (finished_)
+        return;
+    if (config_.maxInstrs != 0 &&
+        committed_.value() >= config_.maxInstrs) {
+        finished_ = true;
+        return;
+    }
+    // Watchdog: the cycle budget is deterministic (a livelocked
+    // config times out at the same cycle everywhere); the
+    // wall-clock budget and the cancel token are checked on a
+    // coarse stride so the hot loop stays cheap.
+    if (config_.maxCycles != 0 && now_ >= config_.maxCycles) {
+        throw TimeoutError(
+            "simulation exceeded cycle budget of " +
+            std::to_string(config_.maxCycles) + " cycles");
+    }
+    if ((now_ & 0xFFFu) == 0) {
+        if (cancelRequested()) {
+            throw CancelledError(
+                "simulation cancelled by watchdog at cycle " +
+                std::to_string(now_));
         }
-        // Watchdog: the cycle budget is deterministic (a livelocked
-        // config times out at the same cycle everywhere); the
-        // wall-clock budget and the cancel token are checked on a
-        // coarse stride so the hot loop stays cheap.
-        if (config_.maxCycles != 0 && now_ >= config_.maxCycles) {
+        if (wallBudget_ &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart_)
+                    .count() > config_.maxWallSeconds) {
             throw TimeoutError(
-                "simulation exceeded cycle budget of " +
-                std::to_string(config_.maxCycles) + " cycles");
-        }
-        if ((now_ & 0xFFFu) == 0) {
-            if (cancelRequested()) {
-                throw CancelledError(
-                    "simulation cancelled by watchdog at cycle " +
-                    std::to_string(now_));
-            }
-            if (wall_budget &&
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wall_start)
-                        .count() > config_.maxWallSeconds) {
-                throw TimeoutError(
-                    "simulation exceeded wall-clock budget of " +
-                    std::to_string(config_.maxWallSeconds) +
-                    " seconds");
-            }
-        }
-        ++now_;
-        mem_.tick(now_);
-
-        const auto before = committed_.value();
-        doCommit();
-        doIssue();
-        doDispatch();
-        doFetch();
-
-        // Demand priority on the shared L2 port: only after every
-        // demand access of this cycle has claimed its slot may the
-        // arbiter issue deferred prefetches into what is left.
-        mem_.drainDeferred(now_);
-
-        if (committed_.value() == before && fetchQueue_.empty() &&
-            rob_.empty()) {
-            DynInst probe;
-            if (!peek(probe) && pending_ == std::nullopt) {
-                work_left = false;
-            } else {
-                ++idleCycles_;
-            }
+                "simulation exceeded wall-clock budget of " +
+                std::to_string(config_.maxWallSeconds) +
+                " seconds");
         }
     }
+    ++now_;
+    mem_.tick(now_);
+
+    const auto before = committed_.value();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doFetch();
+
+    // Demand priority on the shared L2 port: only after every
+    // demand access of this cycle has claimed its slot may the
+    // arbiter issue deferred prefetches into what is left.
+    mem_.drainDeferred(now_);
+
+    if (committed_.value() == before && fetchQueue_.empty() &&
+        rob_.empty()) {
+        DynInst probe;
+        if (!peek(probe) && pending_ == std::nullopt) {
+            if (streamDone_)
+                finished_ = true;
+            else
+                ++idleCycles_; // dry source: the core waits
+        } else {
+            ++idleCycles_;
+        }
+    }
+}
+
+void
+Core::run()
+{
+    beginRun();
+    while (!finished_)
+        stepCycle();
     mem_.finalize();
 }
 

@@ -23,6 +23,7 @@
 #ifndef CGP_CPU_CORE_HH
 #define CGP_CPU_CORE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -98,8 +99,25 @@ class Core
     /** Run the trace to completion (or maxInstrs). */
     void run();
 
+    /// @{ Incremental stepping (the multi-core server drives cores
+    /// cycle by cycle; run() is beginRun + stepCycle to completion).
+    /** Arm the wall-clock watchdog; call once before stepCycle. */
+    void beginRun();
+    /**
+     * Simulate one cycle (watchdog checks included).  A core whose
+     * stream is merely dry burns the cycle idling; a core whose
+     * stream has ended and whose pipeline has drained becomes
+     * finished.  No-op once finished.  Does NOT finalize the memory
+     * hierarchy — the owner of shared memory state does that once
+     * every core is finished.
+     */
+    void stepCycle();
+    bool finished() const { return finished_; }
+    /// @}
+
     Cycle cycles() const { return now_; }
     std::uint64_t committedInstrs() const { return committed_.value(); }
+    std::uint64_t idleCycles() const { return idleCycles_.value(); }
     double
     ipc() const
     {
@@ -158,6 +176,9 @@ class Core
 
     std::optional<DynInst> pending_;
     bool streamDone_ = false;
+    bool finished_ = false;
+    bool wallBudget_ = false;
+    std::chrono::steady_clock::time_point wallStart_{};
 
     Addr lastFetchLine_ = invalidAddr;
     Cycle fetchResumeCycle_ = 0;

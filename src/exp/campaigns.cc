@@ -398,6 +398,44 @@ makeArbiterSweep()
 }
 
 CampaignSpec
+makeServerScale()
+{
+    CampaignSpec s;
+    s.name = "server-scale";
+    s.title = "Server scaling — cores x sessions on one shared L2";
+    // The two concurrent mixes, served by the multi-core model:
+    // every point runs the same closed-loop query population, so
+    // cycles-to-serve and the latency percentiles compare directly
+    // across core counts and prefetch configurations.
+    s.workloads = {"wisc-large-1", "wisc+tpch"};
+    for (const unsigned cores : {1u, 2u, 4u}) {
+        for (const unsigned sessions : {16u, 256u}) {
+            s.explicitConfigs.push_back(SimConfig::withServer(
+                SimConfig::o5(), cores, sessions, 12));
+            s.explicitConfigs.push_back(SimConfig::withServer(
+                SimConfig::withIPlusD(DataPrefetchKind::Combined,
+                                      true),
+                cores, sessions, 12));
+        }
+    }
+    return s;
+}
+
+CampaignSpec
+makeServerSmoke()
+{
+    CampaignSpec s;
+    s.name = "server-smoke";
+    s.title = "Server smoke (2 cores x 8 sessions)";
+    s.workloads = smokeWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::withServer(SimConfig::o5Om(), 2, 8, 4),
+        SimConfig::withServer(cgp4om(), 2, 8, 4),
+    };
+    return s;
+}
+
+CampaignSpec
 makeSmoke()
 {
     CampaignSpec s;
@@ -413,7 +451,7 @@ makeSmoke()
 
 const std::vector<std::string> figureNames = {
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "figD_dstall", "figID_interaction"};
+    "figD_dstall", "figID_interaction", "server-scale"};
 
 const std::vector<std::string> ablationNames = {
     "ablation-ranl", "ablation-design-depth",
@@ -429,6 +467,7 @@ campaignNames()
     names.insert(names.end(), ablationNames.begin(),
                  ablationNames.end());
     names.push_back("smoke");
+    names.push_back("server-smoke");
     return names;
 }
 
@@ -465,8 +504,12 @@ paperCampaign(const std::string &name)
         return makeAblationAssoc();
     if (name == "arbiter-sweep")
         return makeArbiterSweep();
+    if (name == "server-scale")
+        return makeServerScale();
     if (name == "smoke")
         return makeSmoke();
+    if (name == "server-smoke")
+        return makeServerSmoke();
     throw std::invalid_argument("unknown campaign '" + name + "'");
 }
 

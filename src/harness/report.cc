@@ -106,6 +106,26 @@ writeReport(const SimResult &result, std::ostream &os)
                       static_cast<double>(result.cghcHits) /
                           static_cast<double>(result.cghcAccesses))});
     }
+    if (result.serverEnabled) {
+        const auto &srv = result.server;
+        t.addRule();
+        t.addRow({"server cores", TablePrinter::num(srv.cores)});
+        t.addRow({"sessions", TablePrinter::num(srv.sessions)});
+        t.addRow({"queries served",
+                  TablePrinter::num(srv.queriesServed)});
+        t.addRow({"queries / Mcycle",
+                  TablePrinter::fixed(srv.queriesPerMcycle(), 2)});
+        t.addRow({"latency p50", TablePrinter::num(srv.latencyP50)});
+        t.addRow({"latency p95", TablePrinter::num(srv.latencyP95)});
+        t.addRow({"latency p99", TablePrinter::num(srv.latencyP99)});
+        t.addRow({"L2-port wait cycles",
+                  TablePrinter::num(srv.portWaitCycles)});
+        for (std::size_t i = 0; i < srv.perCore.size(); ++i) {
+            t.addRow({"  core " + std::to_string(i) + " util",
+                      TablePrinter::percent(
+                          srv.perCore[i].utilization())});
+        }
+    }
     t.print(os);
 }
 
@@ -176,6 +196,70 @@ arbFromJson(const Json &parent, std::string_view key)
     return b;
 }
 
+Json
+serverToJson(const server::ServerStats &stats)
+{
+    Json j = Json::object();
+    j.set("cores", stats.cores);
+    j.set("sessions", stats.sessions);
+    j.set("cycles", stats.cycles);
+    j.set("queries_served", stats.queriesServed);
+    j.set("binds", stats.binds);
+    j.set("latency_p50", stats.latencyP50);
+    j.set("latency_p95", stats.latencyP95);
+    j.set("latency_p99", stats.latencyP99);
+    j.set("port_wait_cycles", stats.portWaitCycles);
+    Json per_core = Json::array();
+    for (const auto &c : stats.perCore) {
+        Json cj = Json::object();
+        cj.set("cycles", c.cycles);
+        cj.set("instrs", c.instrs);
+        cj.set("idle_cycles", c.idleCycles);
+        cj.set("icache_accesses", c.icacheAccesses);
+        cj.set("icache_misses", c.icacheMisses);
+        cj.set("dcache_accesses", c.dcacheAccesses);
+        cj.set("dcache_misses", c.dcacheMisses);
+        cj.set("bus_lines", c.busLines);
+        cj.set("port_wait_cycles", c.portWaitCycles);
+        cj.set("queries", c.queries);
+        cj.set("binds", c.binds);
+        per_core.push(std::move(cj));
+    }
+    j.set("per_core", std::move(per_core));
+    return j;
+}
+
+server::ServerStats
+serverFromJson(const Json &j)
+{
+    server::ServerStats s;
+    s.cores = j.at("cores").asUint();
+    s.sessions = j.at("sessions").asUint();
+    s.cycles = j.at("cycles").asUint();
+    s.queriesServed = j.at("queries_served").asUint();
+    s.binds = j.at("binds").asUint();
+    s.latencyP50 = j.at("latency_p50").asUint();
+    s.latencyP95 = j.at("latency_p95").asUint();
+    s.latencyP99 = j.at("latency_p99").asUint();
+    s.portWaitCycles = j.at("port_wait_cycles").asUint();
+    for (const Json &cj : j.at("per_core").items()) {
+        server::ServerCoreStats c;
+        c.cycles = cj.at("cycles").asUint();
+        c.instrs = cj.at("instrs").asUint();
+        c.idleCycles = cj.at("idle_cycles").asUint();
+        c.icacheAccesses = cj.at("icache_accesses").asUint();
+        c.icacheMisses = cj.at("icache_misses").asUint();
+        c.dcacheAccesses = cj.at("dcache_accesses").asUint();
+        c.dcacheMisses = cj.at("dcache_misses").asUint();
+        c.busLines = cj.at("bus_lines").asUint();
+        c.portWaitCycles = cj.at("port_wait_cycles").asUint();
+        c.queries = cj.at("queries").asUint();
+        c.binds = cj.at("binds").asUint();
+        s.perCore.push_back(c);
+    }
+    return s;
+}
+
 } // namespace
 
 Json
@@ -206,6 +290,10 @@ toJson(const SimResult &result)
     j.set("prefetch_degraded", result.prefetchDegraded);
     j.set("degraded_reason", result.degradedReason);
     j.set("instrs_per_call", result.instrsPerCall);
+    // Emitted only for server-model runs so legacy artifacts (and
+    // their goldens) stay byte-identical.
+    if (result.serverEnabled)
+        j.set("server", serverToJson(result.server));
     return j;
 }
 
@@ -249,6 +337,11 @@ simResultFromJson(const Json &json)
     r.prefetchDegraded = json.at("prefetch_degraded").asBool();
     r.degradedReason = json.at("degraded_reason").asString();
     r.instrsPerCall = json.at("instrs_per_call").asDouble();
+    // Absent in pre-server artifacts and in legacy runs.
+    if (const Json *srv = json.find("server")) {
+        r.serverEnabled = true;
+        r.server = serverFromJson(*srv);
+    }
     return r;
 }
 

@@ -111,6 +111,18 @@ SimConfig::withIPlusD(DataPrefetchKind dkind, bool throttled)
     return c;
 }
 
+SimConfig
+SimConfig::withServer(SimConfig base, unsigned cores,
+                      unsigned sessions, std::uint64_t totalQueries)
+{
+    SimConfig c = std::move(base);
+    c.server.enabled = true;
+    c.server.cores = cores;
+    c.server.sessions = sessions;
+    c.server.totalQueries = totalQueries;
+    return c;
+}
+
 std::string
 SimConfig::describe() const
 {
@@ -142,6 +154,10 @@ SimConfig::describe() const
     }
     if (mem.arbiter.enabled)
         s += "+arb";
+    if (server.enabled) {
+        s += "+srv" + std::to_string(server.cores) + "c" +
+            std::to_string(server.sessions) + "s";
+    }
     return s;
 }
 

@@ -16,6 +16,7 @@
 #include "dprefetch/factory.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/cghc.hh"
+#include "server/config.hh"
 
 namespace cgp
 {
@@ -59,6 +60,15 @@ struct SimConfig
     CoreConfig core;       ///< Table 1 pipeline
     HierarchyConfig mem;   ///< Table 1 memory system
 
+    /**
+     * Multi-core server axis (src/server).  When enabled the point
+     * runs N cores — private L1s, prefetch engines and arbiter per
+     * core — against one shared L2, fed by closed-loop client
+     * sessions through the admission scheduler.  Disabled (the
+     * default) keeps the legacy single-core path untouched.
+     */
+    server::ServerConfig server;
+
     /// @{ Named experiment points.
     static SimConfig o5();
     static SimConfig o5Om();
@@ -83,6 +93,15 @@ struct SimConfig
      */
     static SimConfig withIPlusD(DataPrefetchKind dkind,
                                 bool throttled);
+    /**
+     * Lift any base configuration onto the N-core server: @p cores
+     * cores serving @p sessions closed-loop sessions until
+     * @p totalQueries queries have been admitted (a floor; admitted
+     * queries run to completion).
+     */
+    static SimConfig withServer(SimConfig base, unsigned cores,
+                                unsigned sessions,
+                                std::uint64_t totalQueries);
     /// @}
 
     /** Bar label in the paper's style ("O5+OM+CGP_4"). */

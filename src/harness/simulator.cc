@@ -12,17 +12,277 @@
 #include "prefetch/nextline.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/software_cgp.hh"
+#include "server/server.hh"
 #include "trace/expand.hh"
+#include "trace/source.hh"
 #include "util/logging.hh"
 
 namespace cgp
 {
+
+namespace
+{
+
+/**
+ * One core's prefetch engines plus the observation pointers the
+ * result collection needs.  The owning pointers move into the core
+ * wiring; the raw pointers stay valid for the life of the engines.
+ */
+struct EngineSet
+{
+    std::unique_ptr<InstrPrefetcher> iengine;
+    std::unique_ptr<DataPrefetcher> dengine;
+    FailSoftPrefetcher *failsoft = nullptr;
+    FailSoftDataPrefetcher *dfailsoft = nullptr;
+    const Cghc *cghc = nullptr;
+    bool ctorFailed = false;
+    std::string ctorReason;
+};
+
+/**
+ * Build the configured I- and D-side engines against @p mem's L1s.
+ * Prefetching is an optimisation: a prefetcher that faults — at
+ * construction or at any hook mid-run — must not take down the
+ * simulation.  Construction failures fall back to no-prefetch here;
+ * mid-run faults are absorbed by the FailSoft wrappers.
+ */
+EngineSet
+buildEngines(MemoryHierarchy &mem, const SimConfig &config,
+             const FunctionRegistry &registry, const CodeImage &image,
+             const ExecutionProfile &profile)
+{
+    EngineSet set;
+
+    std::unique_ptr<InstrPrefetcher> inner;
+    try {
+        switch (config.prefetch) {
+          case PrefetchKind::None:
+            break;
+          case PrefetchKind::NextNLine:
+            inner = std::make_unique<NextNLinePrefetcher>(
+                mem.l1i(), config.depth);
+            break;
+          case PrefetchKind::RunAheadNL:
+            inner = std::make_unique<RunAheadNLPrefetcher>(
+                mem.l1i(), config.depth, config.runaheadSkip);
+            break;
+          case PrefetchKind::Cgp: {
+            auto cgp = std::make_unique<CgpPrefetcher>(
+                mem.l1i(), config.cghc, config.depth);
+            set.cghc = &cgp->cghc();
+            inner = std::move(cgp);
+            break;
+          }
+          case PrefetchKind::SoftwareCgp:
+            // The "compiler" consumes the same profile feedback OM
+            // does.
+            inner = std::make_unique<SoftwareCgpPrefetcher>(
+                mem.l1i(), registry, image, profile, config.depth);
+            break;
+        }
+    } catch (const std::exception &e) {
+        set.ctorFailed = true;
+        set.ctorReason = e.what();
+        set.cghc = nullptr;
+        inner.reset();
+        cgp_error("prefetcher construction failed (", set.ctorReason,
+                  "); running without prefetch");
+    }
+
+    if (inner != nullptr) {
+        auto fs =
+            std::make_unique<FailSoftPrefetcher>(std::move(inner));
+        set.failsoft = fs.get();
+        set.iengine = std::move(fs);
+    }
+
+    // The data-side engine gets the same fail-soft treatment: a
+    // construction failure falls back to no data prefetch, a mid-run
+    // fault disables it for the rest of the run.
+    std::unique_ptr<DataPrefetcher> dinner;
+    try {
+        dinner = makeDataPrefetcher(mem.l1d(), config.dprefetch);
+    } catch (const std::exception &e) {
+        if (!set.ctorFailed) {
+            set.ctorFailed = true;
+            set.ctorReason = e.what();
+        }
+        dinner.reset();
+        cgp_error("data prefetcher construction failed (", e.what(),
+                  "); running without data prefetch");
+    }
+    if (dinner != nullptr) {
+        auto fs = std::make_unique<FailSoftDataPrefetcher>(
+            std::move(dinner));
+        set.dfailsoft = fs.get();
+        set.dengine = std::move(fs);
+    }
+    return set;
+}
+
+/** Add one core's L1 counters into the (aggregate) result. */
+void
+accumulateCacheCounters(SimResult &r, const Cache &l1i,
+                        const Cache &l1d)
+{
+    r.icacheAccesses += l1i.demandAccesses();
+    r.icacheMisses += l1i.demandMisses();
+    r.dcacheAccesses += l1d.demandAccesses();
+    r.dcacheMisses += l1d.demandMisses();
+
+    r.nl.issued += l1i.prefetchesIssued(AccessSource::PrefetchNL);
+    r.nl.prefHits += l1i.prefHits(AccessSource::PrefetchNL);
+    r.nl.delayedHits += l1i.delayedHits(AccessSource::PrefetchNL);
+    r.nl.useless += l1i.useless(AccessSource::PrefetchNL);
+    r.cghc.issued += l1i.prefetchesIssued(AccessSource::PrefetchCGHC);
+    r.cghc.prefHits += l1i.prefHits(AccessSource::PrefetchCGHC);
+    r.cghc.delayedHits +=
+        l1i.delayedHits(AccessSource::PrefetchCGHC);
+    r.cghc.useless += l1i.useless(AccessSource::PrefetchCGHC);
+    r.dpf.issued +=
+        l1d.prefetchesIssued(AccessSource::DataPrefetch);
+    r.dpf.prefHits += l1d.prefHits(AccessSource::DataPrefetch);
+    r.dpf.delayedHits += l1d.delayedHits(AccessSource::DataPrefetch);
+    r.dpf.useless += l1d.useless(AccessSource::DataPrefetch);
+    r.squashedPrefetches += l1i.squashedPrefetches();
+    r.dSquashedPrefetches += l1d.squashedPrefetches();
+}
+
+/** Add one core's arbiter counters (no-op without an arbiter). */
+void
+accumulateArbiterCounters(SimResult &r, const PrefetchArbiter *arb)
+{
+    if (arb == nullptr)
+        return;
+    const auto grab = [arb](ArbiterBreakdown &b, AccessSource src) {
+        b.issued += arb->issued(src);
+        b.deferred += arb->deferred(src);
+        b.dropped += arb->dropped(src);
+        b.duplicateMerged += arb->duplicateMerged(src);
+    };
+    grab(r.arbNl, AccessSource::PrefetchNL);
+    grab(r.arbCghc, AccessSource::PrefetchCGHC);
+    grab(r.arbDpf, AccessSource::DataPrefetch);
+}
+
+/** Fold one core's engine health into the degraded flag/reason. */
+void
+accumulateDegraded(SimResult &r, const EngineSet &engines)
+{
+    if (r.prefetchDegraded)
+        return;
+    if (engines.ctorFailed) {
+        r.prefetchDegraded = true;
+        r.degradedReason = engines.ctorReason;
+    } else if (engines.failsoft != nullptr &&
+               engines.failsoft->degraded()) {
+        r.prefetchDegraded = true;
+        r.degradedReason = engines.failsoft->reason();
+    } else if (engines.dfailsoft != nullptr &&
+               engines.dfailsoft->degraded()) {
+        r.prefetchDegraded = true;
+        r.degradedReason = engines.dfailsoft->reason();
+    }
+}
+
+/**
+ * The N-core server-model path (config.server.enabled): per-core
+ * hierarchies and engines behind one shared L2, sessions fed by the
+ * admission scheduler (or the pre-merged trace in singleStream
+ * mode).  The scalar SimResult counters aggregate across cores; the
+ * per-core breakdown and latency summary ride in result.server.
+ */
+SimResult
+runServerSimulation(const Workload &workload, const SimConfig &config)
+{
+    LayoutBuilder builder(*workload.registry);
+    ExecutionProfile empty_profile;
+    const ExecutionProfile &profile = workload.omProfile
+        ? *workload.omProfile
+        : empty_profile;
+    const CodeImage image = builder.build(config.layout, profile);
+
+    server::ServerWiring wiring;
+    wiring.registry = workload.registry.get();
+    wiring.image = &image;
+    wiring.expand.instrScale =
+        config.layout == LayoutKind::PettisHansen
+        ? config.omInstrScale
+        : 1.0;
+    wiring.mem = config.mem;
+    wiring.core = config.core;
+    wiring.core.perfectICache = config.perfectICache;
+
+    if (config.server.singleStream) {
+        wiring.singleStream = workload.trace.get();
+    } else if (workload.queryLibrary != nullptr &&
+               !workload.queryLibrary->empty()) {
+        for (const auto &q : *workload.queryLibrary)
+            wiring.queries.push_back(&q);
+        wiring.switchStub = workload.switchStub.get();
+    } else {
+        // SPEC proxies have no query structure: the whole trace is a
+        // one-query library.
+        wiring.queries.push_back(workload.trace.get());
+    }
+
+    std::vector<EngineSet> engines(config.server.cores);
+    wiring.engines = [&](MemoryHierarchy &mem, unsigned coreId) {
+        EngineSet set = buildEngines(mem, config, *workload.registry,
+                                     image, profile);
+        server::EnginePair pair;
+        pair.iengine = std::move(set.iengine);
+        pair.dengine = std::move(set.dengine);
+        engines[coreId] = std::move(set);
+        return pair;
+    };
+
+    server::DbServer srv(config.server, wiring);
+    srv.run();
+
+    SimResult r;
+    r.workload = workload.name;
+    r.config = config.describe();
+    r.cycles = srv.cycles();
+
+    std::uint64_t emitted = 0;
+    std::uint64_t calls = 0;
+    for (unsigned i = 0; i < srv.numCores(); ++i) {
+        r.instrs += srv.coreAt(i).committedInstrs();
+        r.branchMispredicts +=
+            srv.coreAt(i).branchUnit().mispredicts();
+        accumulateCacheCounters(r, srv.memAt(i).l1i(),
+                                srv.memAt(i).l1d());
+        accumulateArbiterCounters(r, srv.memAt(i).arbiter());
+        accumulateDegraded(r, engines[i]);
+        if (engines[i].cghc != nullptr) {
+            r.cghcAccesses += engines[i].cghc->accesses();
+            r.cghcHits += engines[i].cghc->hits();
+        }
+        emitted += srv.expanderAt(i).emittedInstrs();
+        calls += srv.expanderAt(i).emittedCalls();
+    }
+    r.l2Misses = srv.sharedL2().cache().demandMisses();
+    r.busLines = srv.sharedL2().port().requests();
+    r.instrsPerCall = calls == 0
+        ? 0.0
+        : static_cast<double>(emitted) / static_cast<double>(calls);
+
+    r.serverEnabled = true;
+    r.server = srv.stats();
+    return r;
+}
+
+} // anonymous namespace
 
 SimResult
 runSimulation(const Workload &workload, const SimConfig &config)
 {
     cgp_assert(workload.registry != nullptr && workload.trace != nullptr,
                "incomplete workload");
+
+    if (config.server.enabled)
+        return runServerSimulation(workload, config);
 
     // 1. Bind the trace to the requested binary layout.
     LayoutBuilder builder(*workload.registry);
@@ -42,88 +302,13 @@ runSimulation(const Workload &workload, const SimConfig &config)
 
     // 2. Assemble the machine.
     MemoryHierarchy mem(config.mem);
-
-    // Prefetching is an optimisation: a prefetcher that faults — at
-    // construction or at any hook mid-run — must not take down the
-    // simulation.  Construction failures fall back to no-prefetch
-    // here; mid-run faults are absorbed by the FailSoft wrapper.
-    std::unique_ptr<InstrPrefetcher> inner;
-    const Cghc *cghc = nullptr;
-    bool ctor_failed = false;
-    std::string ctor_reason;
-    try {
-        switch (config.prefetch) {
-          case PrefetchKind::None:
-            break;
-          case PrefetchKind::NextNLine:
-            inner = std::make_unique<NextNLinePrefetcher>(
-                mem.l1i(), config.depth);
-            break;
-          case PrefetchKind::RunAheadNL:
-            inner = std::make_unique<RunAheadNLPrefetcher>(
-                mem.l1i(), config.depth, config.runaheadSkip);
-            break;
-          case PrefetchKind::Cgp: {
-            auto cgp = std::make_unique<CgpPrefetcher>(
-                mem.l1i(), config.cghc, config.depth);
-            cghc = &cgp->cghc();
-            inner = std::move(cgp);
-            break;
-          }
-          case PrefetchKind::SoftwareCgp:
-            // The "compiler" consumes the same profile feedback OM
-            // does.
-            inner = std::make_unique<SoftwareCgpPrefetcher>(
-                mem.l1i(), *workload.registry, image, profile,
-                config.depth);
-            break;
-        }
-    } catch (const std::exception &e) {
-        ctor_failed = true;
-        ctor_reason = e.what();
-        cghc = nullptr;
-        inner.reset();
-        cgp_error("prefetcher construction failed (", ctor_reason,
-                  "); running without prefetch");
-    }
-
-    FailSoftPrefetcher *failsoft = nullptr;
-    std::unique_ptr<InstrPrefetcher> prefetcher;
-    if (inner != nullptr) {
-        auto fs =
-            std::make_unique<FailSoftPrefetcher>(std::move(inner));
-        failsoft = fs.get();
-        prefetcher = std::move(fs);
-    }
-
-    // The data-side engine gets the same fail-soft treatment: a
-    // construction failure falls back to no data prefetch, a mid-run
-    // fault disables it for the rest of the run.
-    std::unique_ptr<DataPrefetcher> dinner;
-    try {
-        dinner = makeDataPrefetcher(mem.l1d(), config.dprefetch);
-    } catch (const std::exception &e) {
-        if (!ctor_failed) {
-            ctor_failed = true;
-            ctor_reason = e.what();
-        }
-        dinner.reset();
-        cgp_error("data prefetcher construction failed (", e.what(),
-                  "); running without data prefetch");
-    }
-    FailSoftDataPrefetcher *dfailsoft = nullptr;
-    std::unique_ptr<DataPrefetcher> dprefetcher;
-    if (dinner != nullptr) {
-        auto fs = std::make_unique<FailSoftDataPrefetcher>(
-            std::move(dinner));
-        dfailsoft = fs.get();
-        dprefetcher = std::move(fs);
-    }
+    EngineSet engines = buildEngines(mem, config, *workload.registry,
+                                     image, profile);
 
     CoreConfig core_cfg = config.core;
     core_cfg.perfectICache = config.perfectICache;
-    Core core(stream, mem, prefetcher.get(), core_cfg,
-              dprefetcher.get());
+    Core core(stream, mem, engines.iengine.get(), core_cfg,
+              engines.dengine.get());
 
     // 3. Run.
     core.run();
@@ -135,61 +320,17 @@ runSimulation(const Workload &workload, const SimConfig &config)
     r.cycles = core.cycles();
     r.instrs = core.committedInstrs();
 
-    const Cache &l1i = mem.l1i();
-    const Cache &l1d = mem.l1d();
-    r.icacheAccesses = l1i.demandAccesses();
-    r.icacheMisses = l1i.demandMisses();
-    r.dcacheAccesses = l1d.demandAccesses();
-    r.dcacheMisses = l1d.demandMisses();
+    accumulateCacheCounters(r, mem.l1i(), mem.l1d());
     r.l2Misses = mem.l2().demandMisses();
-
-    r.nl.issued = l1i.prefetchesIssued(AccessSource::PrefetchNL);
-    r.nl.prefHits = l1i.prefHits(AccessSource::PrefetchNL);
-    r.nl.delayedHits = l1i.delayedHits(AccessSource::PrefetchNL);
-    r.nl.useless = l1i.useless(AccessSource::PrefetchNL);
-    r.cghc.issued = l1i.prefetchesIssued(AccessSource::PrefetchCGHC);
-    r.cghc.prefHits = l1i.prefHits(AccessSource::PrefetchCGHC);
-    r.cghc.delayedHits =
-        l1i.delayedHits(AccessSource::PrefetchCGHC);
-    r.cghc.useless = l1i.useless(AccessSource::PrefetchCGHC);
-    r.dpf.issued =
-        l1d.prefetchesIssued(AccessSource::DataPrefetch);
-    r.dpf.prefHits = l1d.prefHits(AccessSource::DataPrefetch);
-    r.dpf.delayedHits = l1d.delayedHits(AccessSource::DataPrefetch);
-    r.dpf.useless = l1d.useless(AccessSource::DataPrefetch);
-    r.squashedPrefetches = l1i.squashedPrefetches();
-    r.dSquashedPrefetches = l1d.squashedPrefetches();
-    if (mem.arbiter() != nullptr) {
-        const PrefetchArbiter &arb = *mem.arbiter();
-        const auto grab = [&arb](AccessSource src) {
-            ArbiterBreakdown b;
-            b.issued = arb.issued(src);
-            b.deferred = arb.deferred(src);
-            b.dropped = arb.dropped(src);
-            b.duplicateMerged = arb.duplicateMerged(src);
-            return b;
-        };
-        r.arbNl = grab(AccessSource::PrefetchNL);
-        r.arbCghc = grab(AccessSource::PrefetchCGHC);
-        r.arbDpf = grab(AccessSource::DataPrefetch);
-    }
+    accumulateArbiterCounters(r, mem.arbiter());
     r.busLines = mem.port().requests();
 
     r.branchMispredicts = core.branchUnit().mispredicts();
-    if (cghc != nullptr) {
-        r.cghcAccesses = cghc->accesses();
-        r.cghcHits = cghc->hits();
+    if (engines.cghc != nullptr) {
+        r.cghcAccesses = engines.cghc->accesses();
+        r.cghcHits = engines.cghc->hits();
     }
-    if (ctor_failed) {
-        r.prefetchDegraded = true;
-        r.degradedReason = ctor_reason;
-    } else if (failsoft != nullptr && failsoft->degraded()) {
-        r.prefetchDegraded = true;
-        r.degradedReason = failsoft->reason();
-    } else if (dfailsoft != nullptr && dfailsoft->degraded()) {
-        r.prefetchDegraded = true;
-        r.degradedReason = dfailsoft->reason();
-    }
+    accumulateDegraded(r, engines);
     r.instrsPerCall = stream.instrsPerCall();
     return r;
 }

@@ -13,6 +13,7 @@
 
 #include "harness/simconfig.hh"
 #include "harness/workload.hh"
+#include "server/stats.hh"
 
 namespace cgp
 {
@@ -113,6 +114,13 @@ struct SimResult
 
     double instrsPerCall = 0.0; ///< paper §5.4: ~43 for DBMS
 
+    /// @{ Multi-core server-model run (config.server.enabled): the
+    /// scalar counters above are aggregated across cores; `server`
+    /// carries the per-core breakdown and session-latency summary.
+    bool serverEnabled = false;
+    server::ServerStats server;
+    /// @}
+
     double
     ipc() const
     {
@@ -154,7 +162,9 @@ struct SimResult
             a.cghcHits == b.cghcHits &&
             a.prefetchDegraded == b.prefetchDegraded &&
             a.degradedReason == b.degradedReason &&
-            a.instrsPerCall == b.instrsPerCall;
+            a.instrsPerCall == b.instrsPerCall &&
+            a.serverEnabled == b.serverEnabled &&
+            a.server == b.server;
     }
 };
 

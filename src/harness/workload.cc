@@ -5,8 +5,8 @@
 #include "db/dbsys.hh"
 #include "db/tpch.hh"
 #include "db/wisconsin.hh"
+#include "server/compat.hh"
 #include "trace/expand.hh"
-#include "trace/interleave.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -38,40 +38,44 @@ recordTpchQuery(db::DbSystem &dbsys, int query,
     return buf;
 }
 
-/** Scheduler-stub emission at every context switch. */
-InterleaveConfig
-makeInterleave(const db::DbFuncs &fn)
+/**
+ * Record the OS-scheduler stub once.  The stub body is stateless and
+ * balanced, so replaying this buffer at every context switch emits
+ * exactly the events the old per-switch onSwitch callback recorded.
+ */
+std::shared_ptr<TraceBuffer>
+recordSwitchStub(const db::DbFuncs &fn)
 {
-    InterleaveConfig cfg;
-    cfg.quantumInstrs = WorkloadFactory::quantumInstrs();
-    cfg.onSwitch = [fn](TraceRecorder &rec) {
-        TraceScope s(rec, fn.osSchedule);
-        s.work(60);
-        s.branch(true);
-        {
-            TraceScope save(rec, fn.osCtxSave);
-            save.work(35);
-        }
-        {
-            TraceScope restore(rec, fn.osCtxRestore);
-            restore.work(35);
-        }
-        s.work(20);
-    };
-    return cfg;
+    auto buf = std::make_shared<TraceBuffer>();
+    TraceRecorder rec(*buf);
+    TraceScope s(rec, fn.osSchedule);
+    s.work(60);
+    s.branch(true);
+    {
+        TraceScope save(rec, fn.osCtxSave);
+        save.work(35);
+    }
+    {
+        TraceScope restore(rec, fn.osCtxRestore);
+        restore.work(35);
+    }
+    s.work(20);
+    return buf;
 }
 
-/** Merge per-query buffers into one scheduled trace. */
+/** Merge per-query buffers into one scheduled trace via the server
+ *  model's legacy-compatible shim (byte-identical to the deprecated
+ *  trace/interleave merger). */
 std::shared_ptr<TraceBuffer>
 schedule(const std::vector<TraceBuffer> &queries,
-         const db::DbFuncs &fn)
+         const TraceBuffer &stub)
 {
     std::vector<const TraceBuffer *> ptrs;
     ptrs.reserve(queries.size());
     for (const auto &q : queries)
         ptrs.push_back(&q);
-    return std::make_shared<TraceBuffer>(
-        interleaveTraces(ptrs, makeInterleave(fn)));
+    return std::make_shared<TraceBuffer>(server::legacyMerge(
+        ptrs, WorkloadFactory::quantumInstrs(), &stub));
 }
 
 /** Build a layout-independent profile by replaying over O5. */
@@ -134,12 +138,16 @@ WorkloadFactory::buildDbSet()
     small_cfg.bufferFrames = 2048;
     db::DbSystem db_prof(reg, scratch, small_cfg);
     db::Wisconsin::load(db_prof, wisc_prof_n);
-    std::vector<TraceBuffer> prof_queries;
-    prof_queries.push_back(recordWiscQuery(db_prof, 1, wisc_prof_n, 11));
-    prof_queries.push_back(recordWiscQuery(db_prof, 5, wisc_prof_n, 15));
-    prof_queries.push_back(recordWiscQuery(db_prof, 9, wisc_prof_n, 19));
+    auto prof_queries = std::make_shared<std::vector<TraceBuffer>>();
+    prof_queries->push_back(
+        recordWiscQuery(db_prof, 1, wisc_prof_n, 11));
+    prof_queries->push_back(
+        recordWiscQuery(db_prof, 5, wisc_prof_n, 15));
+    prof_queries->push_back(
+        recordWiscQuery(db_prof, 9, wisc_prof_n, 19));
     const db::DbFuncs fn = db_prof.ctx().fn;
-    auto wisc_prof_trace = schedule(prof_queries, fn);
+    auto stub = recordSwitchStub(fn);
+    auto wisc_prof_trace = schedule(*prof_queries, *stub);
 
     // ---- wisc-large-1: same queries, full-size database ----------
     TraceBuffer scratch1;
@@ -147,23 +155,23 @@ WorkloadFactory::buildDbSet()
     large_cfg.bufferFrames = 4096;
     db::DbSystem db_large(reg, scratch1, large_cfg);
     db::Wisconsin::load(db_large, wisc_large_n);
-    std::vector<TraceBuffer> large1_queries;
-    large1_queries.push_back(
+    auto large1_queries = std::make_shared<std::vector<TraceBuffer>>();
+    large1_queries->push_back(
         recordWiscQuery(db_large, 1, wisc_large_n, 21));
-    large1_queries.push_back(
+    large1_queries->push_back(
         recordWiscQuery(db_large, 5, wisc_large_n, 25));
-    large1_queries.push_back(
+    large1_queries->push_back(
         recordWiscQuery(db_large, 9, wisc_large_n, 29));
-    auto wisc_large1_trace = schedule(large1_queries, fn);
+    auto wisc_large1_trace = schedule(*large1_queries, *stub);
 
     // ---- wisc-large-2: all eight queries --------------------------
-    std::vector<TraceBuffer> large2_queries;
+    auto large2_queries = std::make_shared<std::vector<TraceBuffer>>();
     for (int q : {1, 2, 3, 4, 5, 6, 7, 9}) {
-        large2_queries.push_back(
+        large2_queries->push_back(
             recordWiscQuery(db_large, q, wisc_large_n,
                             static_cast<std::uint64_t>(30 + q)));
     }
-    auto wisc_large2_trace = schedule(large2_queries, fn);
+    auto wisc_large2_trace = schedule(*large2_queries, *stub);
 
     // ---- wisc+tpch: eight Wisconsin + five TPC-H queries ----------
     TraceBuffer scratch2;
@@ -174,18 +182,18 @@ WorkloadFactory::buildDbSet()
     const auto tpch_scale = db::Tpch::Scale::fromLineitems(tpch_lines);
     db::Tpch::load(db_tpch, tpch_scale);
 
-    std::vector<TraceBuffer> mixed_queries;
+    auto mixed_queries = std::make_shared<std::vector<TraceBuffer>>();
     for (int q : {1, 2, 3, 4, 5, 6, 7, 9}) {
-        mixed_queries.push_back(
+        mixed_queries->push_back(
             recordWiscQuery(db_large, q, wisc_large_n,
                             static_cast<std::uint64_t>(50 + q)));
     }
     for (int q : {1, 2, 3, 5, 6}) {
-        mixed_queries.push_back(
+        mixed_queries->push_back(
             recordTpchQuery(db_tpch, q, tpch_scale,
                             static_cast<std::uint64_t>(70 + q)));
     }
-    auto wisc_tpch_trace = schedule(mixed_queries, fn);
+    auto wisc_tpch_trace = schedule(*mixed_queries, *stub);
 
     // ---- OM feedback: wisc-prof + wisc+tpch profiles merged -------
     auto om = std::make_shared<ExecutionProfile>(
@@ -193,19 +201,23 @@ WorkloadFactory::buildDbSet()
     om->merge(profileOf(reg, *wisc_tpch_trace));
     set.omProfile = om;
 
-    auto add = [&set](const std::string &name,
-                      std::shared_ptr<TraceBuffer> trace) {
-        Workload w;
-        w.name = name;
-        w.registry = set.registry;
-        w.trace = std::move(trace);
-        w.omProfile = set.omProfile;
-        set.workloads.push_back(std::move(w));
-    };
-    add("wisc-prof", wisc_prof_trace);
-    add("wisc-large-1", wisc_large1_trace);
-    add("wisc-large-2", wisc_large2_trace);
-    add("wisc+tpch", wisc_tpch_trace);
+    auto add =
+        [&set, &stub](const std::string &name,
+                      std::shared_ptr<TraceBuffer> trace,
+                      std::shared_ptr<std::vector<TraceBuffer>> lib) {
+            Workload w;
+            w.name = name;
+            w.registry = set.registry;
+            w.trace = std::move(trace);
+            w.omProfile = set.omProfile;
+            w.queryLibrary = std::move(lib);
+            w.switchStub = stub;
+            set.workloads.push_back(std::move(w));
+        };
+    add("wisc-prof", wisc_prof_trace, prof_queries);
+    add("wisc-large-1", wisc_large1_trace, large1_queries);
+    add("wisc-large-2", wisc_large2_trace, large2_queries);
+    add("wisc+tpch", wisc_tpch_trace, mixed_queries);
     return set;
 }
 

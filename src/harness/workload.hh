@@ -30,6 +30,17 @@ struct Workload
 
     /** OM feedback (shared across a workload set). */
     std::shared_ptr<ExecutionProfile> omProfile;
+
+    /**
+     * Per-query traces the server model's sessions draw from — the
+     * same buffers `trace` was merged out of.  Null for workloads
+     * without a concurrent-query structure (SPEC proxies); the
+     * server then treats the whole trace as a one-query library.
+     */
+    std::shared_ptr<std::vector<TraceBuffer>> queryLibrary;
+
+    /** Scheduler stub replayed at each session bind (may be null). */
+    std::shared_ptr<TraceBuffer> switchStub;
 };
 
 /** The paper's four database workloads (§4.1), sharing one binary. */

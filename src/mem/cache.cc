@@ -114,7 +114,7 @@ Cycle
 Cache::forwardMiss(Addr line_addr, Cycle now, AccessSource source)
 {
     if (next_ != nullptr) {
-        const Cycle start = port_->request(now);
+        const Cycle start = port_->request(now, requester_);
         // serviceChild computes its own latency from `start`; the
         // port already accounts FIFO occupancy.
         auto res = next_->access(line_addr, start, source, false);

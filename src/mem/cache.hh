@@ -74,10 +74,13 @@ class MemoryPort
      * Enqueue a request arriving at @p now; returns the cycle the
      * next level starts servicing it.  Throughput is limited per
      * cycle in arrival order — demand misses and prefetches queue
-     * together with no priority (paper §3.3).
+     * together with no priority (paper §3.3).  @p requester tags the
+     * request for per-core attribution when several cores share the
+     * port (the server model); cycles a request waits behind the
+     * backlog are charged to its requester as contention.
      */
     Cycle
-    request(Cycle now)
+    request(Cycle now, unsigned requester = 0)
     {
         Cycle start = now + 1;
         if (start < lastStart_)
@@ -91,11 +94,37 @@ class MemoryPort
             ++startedThisCycle_;
         }
         ++requests_;
+        const std::uint64_t wait = start - (now + 1);
+        waitCycles_ += wait;
+        if (requester >= perRequester_.size())
+            perRequester_.resize(requester + 1);
+        ++perRequester_[requester].requests;
+        perRequester_[requester].waitCycles += wait;
         return start;
     }
 
     /** Total requests that crossed this port (bus traffic in lines). */
     std::uint64_t requests() const { return requests_; }
+
+    /** Total cycles requests spent queued behind the FIFO backlog. */
+    std::uint64_t waitCycles() const { return waitCycles_; }
+
+    /// @{ Per-requester attribution (zero for unseen requesters).
+    std::uint64_t
+    requestsBy(unsigned requester) const
+    {
+        return requester < perRequester_.size()
+            ? perRequester_[requester].requests
+            : 0;
+    }
+    std::uint64_t
+    waitCyclesBy(unsigned requester) const
+    {
+        return requester < perRequester_.size()
+            ? perRequester_[requester].waitCycles
+            : 0;
+    }
+    /// @}
 
     /**
      * Would a request arriving at @p now have to wait behind the
@@ -112,9 +141,17 @@ class MemoryPort
     }
 
   private:
+    struct RequesterStats
+    {
+        std::uint64_t requests = 0;
+        std::uint64_t waitCycles = 0;
+    };
+
     Cycle lastStart_ = 0;
     unsigned startedThisCycle_ = 0;
     std::uint64_t requests_ = 0;
+    std::uint64_t waitCycles_ = 0;
+    std::vector<RequesterStats> perRequester_;
 };
 
 /**
@@ -161,6 +198,10 @@ class Cache
      * back to it as accuracy signals.
      */
     void setArbiter(PrefetchArbiter *arbiter) { arbiter_ = arbiter; }
+
+    /** Tag this cache's port requests with a core id (server model);
+     *  the default 0 keeps single-core attribution unchanged. */
+    void setRequesterId(unsigned id) { requester_ = id; }
 
     /**
      * Arbiter drain path: issue a previously-deferred prefetch
@@ -245,6 +286,7 @@ class Cache
     Cache *next_;
     MemoryPort *port_;
     PrefetchArbiter *arbiter_ = nullptr;
+    unsigned requester_ = 0;
 
     std::uint32_t sets_;
     std::vector<Line> lines_;

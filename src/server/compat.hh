@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compatibility shim for the deprecated trace/interleave path: the
+ * legacy concurrent figures are produced by streaming the per-query
+ * traces through a server-style source that reproduces the old
+ * `interleaveTraces` schedule decision-for-decision (same rng stream,
+ * same pick/re-pick rule, same jittered quanta, same Switch + stub
+ * emission).  `legacyMerge` drains it into one buffer; a regression
+ * test asserts the result is event-identical to the old merger.
+ */
+
+#ifndef CGP_SERVER_COMPAT_HH
+#define CGP_SERVER_COMPAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/events.hh"
+#include "trace/source.hh"
+#include "util/rng.hh"
+
+namespace cgp::server
+{
+
+/** Streaming reproduction of the legacy `interleaveTraces` schedule
+ *  (Rng(0x5c4ed), random pick avoiding back-to-back re-selection,
+ *  quantum = q/2 + rng.nextBelow(q)). */
+class LegacyInterleaveSource final : public TraceSource
+{
+  public:
+    /**
+     * @param threads Per-query traces, in legacy thread order.
+     * @param quantumInstrs Legacy scheduling quantum.
+     * @param switchStub Scheduler-stub events replayed after each
+     *        Switch (may be null).
+     */
+    LegacyInterleaveSource(
+        const std::vector<const TraceBuffer *> &threads,
+        std::uint64_t quantumInstrs, const TraceBuffer *switchStub);
+
+    Pull next(TraceEvent &out) override;
+
+  private:
+    /** Pick the next thread + quantum (legacy rng call order). */
+    void bind();
+
+    const std::vector<const TraceBuffer *> threads_;
+    const std::uint64_t quantumInstrs_;
+    const TraceBuffer *stub_;
+    Rng rng_;
+
+    std::vector<std::size_t> cursor_;
+    std::vector<std::size_t> runnable_;
+    std::size_t last_;
+    std::size_t pick_ = 0;
+    bool bound_ = false;
+    bool pendingSwitch_ = false;
+    std::size_t stubCursor_ = 0;
+    std::uint64_t quantum_ = 0;
+    std::uint64_t used_ = 0;
+};
+
+/** Drain the shim into one buffer (drop-in for interleaveTraces). */
+TraceBuffer legacyMerge(
+    const std::vector<const TraceBuffer *> &threads,
+    std::uint64_t quantumInstrs, const TraceBuffer *switchStub);
+
+} // namespace cgp::server
+
+#endif // CGP_SERVER_COMPAT_HH

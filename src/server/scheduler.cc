@@ -1,0 +1,141 @@
+#include "server/scheduler.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cgp::server
+{
+
+std::uint64_t
+AdmissionScheduler::sessionSeed(std::uint64_t base, std::uint64_t id)
+{
+    // Distinct odd-multiple offsets feed Rng's splitmix64 expansion,
+    // giving each session an independent reproducible stream.
+    return base ^ (0x9e3779b97f4a7c15ull * (id + 1));
+}
+
+std::uint64_t
+AdmissionScheduler::drawThink(Rng &rng, double meanCycles)
+{
+    // One draw is always consumed so a session's stream is identical
+    // whether or not think time is enabled.
+    const double u = rng.nextDouble();
+    if (meanCycles <= 0.0)
+        return 0;
+    const double v = -meanCycles * std::log(1.0 - u);
+    return static_cast<std::uint64_t>(std::llround(v));
+}
+
+AdmissionScheduler::AdmissionScheduler(const ServerConfig &config,
+                                       std::size_t librarySize)
+    : config_(config),
+      zipf_(librarySize == 0 ? 1 : librarySize, config.zipfTheta),
+      local_(config.cores)
+{
+    cgp_assert(librarySize > 0, "empty query library");
+    cgp_assert(config_.sessions > 0, "server with zero sessions");
+    cgp_assert(config_.queriesPerSession != 0 ||
+                   config_.totalQueries != 0,
+               "unbounded server run: set queriesPerSession or "
+               "totalQueries");
+    sessions_.resize(config_.sessions);
+    for (std::uint64_t i = 0; i < config_.sessions; ++i) {
+        ClientSession &s = sessions_[i];
+        s.id = i;
+        s.rng = Rng(sessionSeed(config_.seed, i));
+        s.state = ClientSession::State::Thinking;
+        // Initial think staggers session arrivals.
+        waiting_.emplace(drawThink(s.rng, config_.thinkMeanCycles),
+                         i);
+    }
+}
+
+void
+AdmissionScheduler::wake(Cycle now)
+{
+    while (!waiting_.empty() && waiting_.begin()->first <= now) {
+        ClientSession &s = sessions_[waiting_.begin()->second];
+        waiting_.erase(waiting_.begin());
+        if (draining())
+            retire(s);
+        else
+            submit(s, now);
+    }
+}
+
+void
+AdmissionScheduler::submit(ClientSession &s, Cycle now)
+{
+    s.queryIdx = zipf_.next(s.rng);
+    s.cursor = 0;
+    s.submitCycle = now;
+    s.state = ClientSession::State::Ready;
+    ready_.push_back(s.id);
+}
+
+ClientSession *
+AdmissionScheduler::dequeue(Cycle now, unsigned coreId)
+{
+    (void)now;
+    cgp_assert(coreId < local_.size(), "dequeue from unknown core");
+    // Admit at most one fresh session per dispatch so continuations
+    // and new arrivals interleave fairly on the core.
+    if (!ready_.empty()) {
+        const std::uint64_t id = ready_.front();
+        ready_.pop_front();
+        if (draining() && sessions_[id].cursor == 0) {
+            // Target reached before this query started: cancel it.
+            retire(sessions_[id]);
+        } else {
+            local_[coreId].push_back(id);
+        }
+    }
+    if (local_[coreId].empty())
+        return nullptr;
+    ClientSession &s = sessions_[local_[coreId].front()];
+    local_[coreId].pop_front();
+    s.state = ClientSession::State::Running;
+    return &s;
+}
+
+void
+AdmissionScheduler::requeue(ClientSession &s, unsigned coreId)
+{
+    cgp_assert(coreId < local_.size(), "requeue on unknown core");
+    s.state = ClientSession::State::Ready;
+    local_[coreId].push_back(s.id);
+}
+
+void
+AdmissionScheduler::onQueryComplete(ClientSession &s, Cycle now)
+{
+    ++served_;
+    ++s.served;
+    latencies_.push_back(now - s.submitCycle);
+    const bool quota = config_.queriesPerSession != 0 &&
+        s.served >= config_.queriesPerSession;
+    if (quota || draining())
+        retire(s);
+    else
+        beginThink(s, now);
+}
+
+void
+AdmissionScheduler::beginThink(ClientSession &s, Cycle now)
+{
+    s.state = ClientSession::State::Thinking;
+    waiting_.emplace(now + drawThink(s.rng, config_.thinkMeanCycles),
+                     s.id);
+}
+
+void
+AdmissionScheduler::retire(ClientSession &s)
+{
+    cgp_assert(s.state != ClientSession::State::Retired,
+               "double retire");
+    s.state = ClientSession::State::Retired;
+    ++retired_;
+}
+
+} // namespace cgp::server

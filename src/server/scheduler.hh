@@ -1,0 +1,129 @@
+/**
+ * @file
+ * FIFO admission scheduler of the server model.
+ *
+ * Sessions wake out of think time into a global FIFO ready queue.
+ * Each core runs a local FIFO of sessions whose current query it is
+ * executing (a session's call-stack state lives in that core's
+ * expander, so a session is core-affine for the duration of one
+ * query).  When a core needs work it first admits at most one
+ * session from the global FIFO into its local queue, then dispatches
+ * the local front; quantum expiry re-queues at the local back.  The
+ * double-FIFO gives a hard starvation bound: between two dispatches
+ * of one session, every other session on its core runs at most once
+ * and at most one new session is admitted.
+ *
+ * All decisions are functions of (config seed, call order); the
+ * server steps cores in fixed index order, so a run is deterministic
+ * at any host thread count.
+ */
+
+#ifndef CGP_SERVER_SCHEDULER_HH
+#define CGP_SERVER_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "server/config.hh"
+#include "server/session.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cgp::server
+{
+
+class AdmissionScheduler
+{
+  public:
+    /** @param librarySize Number of queries in the workload's query
+     *  library (the Zipf domain). */
+    AdmissionScheduler(const ServerConfig &config,
+                       std::size_t librarySize);
+
+    /** Admit every session whose think time has elapsed by @p now
+     *  (called once per simulated cycle, before cores step). */
+    void wake(Cycle now);
+
+    /**
+     * Hand the next runnable session to core @p coreId: admit at
+     * most one global-FIFO session to the core, then dispatch the
+     * local front.  Returns nullptr when nothing is runnable on this
+     * core this cycle.
+     */
+    ClientSession *dequeue(Cycle now, unsigned coreId);
+
+    /** Quantum expired mid-query: back of the core's local queue. */
+    void requeue(ClientSession &s, unsigned coreId);
+
+    /** The session's current query finished at @p now: record the
+     *  latency, then retire the session or start its next think. */
+    void onQueryComplete(ClientSession &s, Cycle now);
+
+    /** True once every session has retired (sources report End). */
+    bool allRetired() const { return retired_ == sessions_.size(); }
+
+    /**
+     * Global query target reached: waking and still-queued sessions
+     * retire instead of submitting; already-admitted queries run to
+     * completion (the target is a floor, not an exact count).
+     */
+    bool
+    draining() const
+    {
+        return config_.totalQueries != 0 &&
+            served_ >= config_.totalQueries;
+    }
+
+    std::uint64_t queriesServed() const { return served_; }
+
+    /** Completed-query latencies in completion order (cycles). */
+    const std::vector<std::uint64_t> &
+    latencies() const
+    {
+        return latencies_;
+    }
+
+    const std::vector<ClientSession> &
+    sessions() const
+    {
+        return sessions_;
+    }
+
+    /**
+     * The think-time draw a session makes on its private rng —
+     * exposed so tests can replay one session's sequence in
+     * isolation (reproducibility contract).
+     */
+    static std::uint64_t drawThink(Rng &rng, double meanCycles);
+
+    /** Per-session base rng seed (splitmix64-expanded by Rng). */
+    static std::uint64_t sessionSeed(std::uint64_t base,
+                                     std::uint64_t id);
+
+  private:
+    void beginThink(ClientSession &s, Cycle now);
+    void retire(ClientSession &s);
+    /** Draw the query mix + enter the global ready FIFO. */
+    void submit(ClientSession &s, Cycle now);
+
+    ServerConfig config_;
+    ZipfGenerator zipf_;
+    std::vector<ClientSession> sessions_;
+    /** (wake cycle, session) — multimap keeps id order within a
+     *  cycle because equal keys preserve insertion order. */
+    std::multimap<Cycle, std::uint64_t> waiting_;
+    /** Sessions with a freshly-submitted query, not yet on a core. */
+    std::deque<std::uint64_t> ready_;
+    /** Per-core dispatch queues (admitted + descheduled sessions). */
+    std::vector<std::deque<std::uint64_t>> local_;
+
+    std::uint64_t served_ = 0;
+    std::size_t retired_ = 0;
+    std::vector<std::uint64_t> latencies_;
+};
+
+} // namespace cgp::server
+
+#endif // CGP_SERVER_SCHEDULER_HH

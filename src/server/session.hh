@@ -1,0 +1,52 @@
+/**
+ * @file
+ * One client session of the server model: a closed-loop generator
+ * that thinks (exponential), submits a Zipf-drawn query from the
+ * workload's query library, waits for it to complete, and repeats.
+ *
+ * A session's dynamic call-stack state lives in the expander of the
+ * core executing its current query, keyed by the session id (the
+ * expander's thread id), so a session is core-affine for the
+ * duration of one query and free to land anywhere between queries.
+ */
+
+#ifndef CGP_SERVER_SESSION_HH
+#define CGP_SERVER_SESSION_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cgp::server
+{
+
+struct ClientSession
+{
+    enum class State : std::uint8_t
+    {
+        Thinking, ///< waiting out the think time
+        Ready,    ///< queued for a core
+        Running,  ///< bound to a core
+        Retired   ///< done for good
+    };
+
+    std::uint64_t id = 0;
+    /** Private stream (think times + query mix); seeded so the
+     *  session's whole behaviour replays in isolation. */
+    Rng rng{0};
+    State state = State::Thinking;
+
+    std::uint64_t served = 0;
+
+    /// @{ Current query (valid from submit to completion).
+    std::size_t queryIdx = 0; ///< index into the query library
+    std::size_t cursor = 0;   ///< next event within the query trace
+    Cycle submitCycle = 0;    ///< when the query entered the system
+    /// @}
+};
+
+} // namespace cgp::server
+
+#endif // CGP_SERVER_SESSION_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Queueing and per-core statistics of a server-model run, carried
+ * inside SimResult (emitted to JSON only when the server model ran,
+ * so legacy results stay byte-identical).
+ */
+
+#ifndef CGP_SERVER_STATS_HH
+#define CGP_SERVER_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cgp::server
+{
+
+struct ServerCoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t idleCycles = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t dcacheMisses = 0;
+    /** L2-port requests issued by this core (demand + prefetch). */
+    std::uint64_t busLines = 0;
+    /** Cycles this core's requests queued behind the shared-port
+     *  backlog — the cross-core contention signal. */
+    std::uint64_t portWaitCycles = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t binds = 0;
+
+    double
+    utilization() const
+    {
+        return cycles == 0
+            ? 0.0
+            : 1.0
+                - static_cast<double>(idleCycles)
+                    / static_cast<double>(cycles);
+    }
+
+    bool operator==(const ServerCoreStats &) const = default;
+};
+
+struct ServerStats
+{
+    std::uint64_t cores = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t queriesServed = 0;
+    std::uint64_t binds = 0;
+    /** Session query latency percentiles in cycles (submit →
+     *  completion, including queueing and descheduled time). */
+    std::uint64_t latencyP50 = 0;
+    std::uint64_t latencyP95 = 0;
+    std::uint64_t latencyP99 = 0;
+    std::uint64_t portWaitCycles = 0;
+    std::vector<ServerCoreStats> perCore;
+
+    /** Throughput in queries per million cycles (multiply by the
+     *  clock in MHz for queries/sec). */
+    double
+    queriesPerMcycle() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(queriesServed) * 1e6
+                / static_cast<double>(cycles);
+    }
+
+    bool operator==(const ServerStats &) const = default;
+};
+
+/** Nearest-rank percentile of an ascending-sorted sample (0 when
+ *  empty); @p q in [0, 100]. */
+inline std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank =
+        std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t idx = static_cast<std::size_t>(
+        std::max(rank, 1.0)) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace cgp::server
+
+#endif // CGP_SERVER_STATS_HH

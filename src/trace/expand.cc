@@ -11,7 +11,20 @@ InstructionExpander::InstructionExpander(const FunctionRegistry &registry,
                                          const CodeImage &image,
                                          const TraceBuffer &trace,
                                          ExpanderConfig config)
-    : registry_(registry), image_(image), trace_(trace), config_(config)
+    : registry_(registry), image_(image),
+      ownedSource_(std::make_unique<BufferTraceSource>(trace)),
+      source_(ownedSource_.get()), config_(config)
+{
+    cgp_assert(config_.instrScale > 0.0, "instrScale must be positive");
+    threads_[0].stackBase = stackSegmentBase;
+}
+
+InstructionExpander::InstructionExpander(const FunctionRegistry &registry,
+                                         const CodeImage &image,
+                                         TraceSource &source,
+                                         ExpanderConfig config)
+    : registry_(registry), image_(image), source_(&source),
+      config_(config)
 {
     cgp_assert(config_.instrScale > 0.0, "instrScale must be positive");
     threads_[0].stackBase = stackSegmentBase;
@@ -396,10 +409,19 @@ InstructionExpander::refill()
             emitWorkInstr();
             continue;
         }
-        if (eventIdx_ >= trace_.size())
+        if (ended_)
             return false;
 
-        const TraceEvent e = trace_.at(eventIdx_++);
+        TraceEvent e = TraceEvent::make(EventKind::Work, 0);
+        switch (source_->next(e)) {
+          case TraceSource::Pull::End:
+            ended_ = true;
+            return false;
+          case TraceSource::Pull::Dry:
+            return false;
+          case TraceSource::Pull::Event:
+            break;
+        }
         switch (e.kind()) {
           case EventKind::Call:
             processCall(static_cast<FunctionId>(e.payload()));

@@ -21,11 +21,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "codegen/layout.hh"
 #include "codegen/profile.hh"
 #include "codegen/registry.hh"
 #include "trace/dyninst.hh"
 #include "trace/events.hh"
+#include "trace/source.hh"
 #include "util/types.hh"
 
 namespace cgp
@@ -59,14 +62,28 @@ class InstructionExpander
                         const TraceBuffer &trace,
                         ExpanderConfig config = {});
 
+    /** Streaming variant: pull events from @p source (not owned).
+     *  The source may report Dry, in which case next() returns false
+     *  without endOfStream() becoming true — the caller retries once
+     *  the source has more to give. */
+    InstructionExpander(const FunctionRegistry &registry,
+                        const CodeImage &image,
+                        TraceSource &source,
+                        ExpanderConfig config = {});
+
     /** Attach a profile to be filled during expansion (may be null). */
     void setProfile(ExecutionProfile *profile) { profile_ = profile; }
 
     /**
      * Produce the next dynamic instruction.
-     * @return false when the trace is exhausted.
+     * @return false when the trace is exhausted — or, for a streaming
+     *         source, when it is merely dry; check endOfStream() to
+     *         tell the two apart.
      */
     bool next(DynInst &out);
+
+    /** True once the underlying source reported End. */
+    bool endOfStream() const { return ended_; }
 
     /// @{ Expansion statistics (valid incrementally).
     std::uint64_t emittedInstrs() const { return emitted_; }
@@ -159,11 +176,13 @@ class InstructionExpander
 
     const FunctionRegistry &registry_;
     const CodeImage &image_;
-    const TraceBuffer &trace_;
+    /** Owns the buffer adapter for the legacy constructor. */
+    std::unique_ptr<BufferTraceSource> ownedSource_;
+    TraceSource *source_;
     ExpanderConfig config_;
     ExecutionProfile *profile_ = nullptr;
 
-    std::size_t eventIdx_ = 0;
+    bool ended_ = false;
     std::uint64_t curThread_ = 0;
     /** Per-function invocation counters driving path dispatch. */
     std::unordered_map<FunctionId, std::uint32_t> invocations_;

@@ -6,6 +6,14 @@
  * context switch, reproducing the instruction-cache interference that
  * concurrency causes (the paper's §2 cites frequent context switches
  * as a driver of DBMS I-cache misses).
+ *
+ * @deprecated New code should use the server model instead: the
+ * offline merge is superseded by cgp::server — either the streaming
+ * shim server::legacyMerge / server::LegacyInterleaveSource (which
+ * reproduces this merger byte-for-byte and is what the workload
+ * factory now routes through) or the full session-driven DbServer.
+ * Kept only so existing callers and the shim's byte-compat test have
+ * the reference implementation to compare against.
  */
 
 #ifndef CGP_TRACE_INTERLEAVE_HH

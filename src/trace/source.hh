@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TraceSource: pull interface between trace storage and the
+ * InstructionExpander.
+ *
+ * The legacy pipeline pre-merges every per-query trace into one big
+ * TraceBuffer and expands that.  The server model instead streams
+ * events one at a time — a per-core source multiplexes session
+ * traces under a scheduling quantum, so the event sequence depends
+ * on simulated time.  The expander only needs three answers from the
+ * storage side: "here is the next event", "nothing right now, but
+ * more may come" (a core idling between sessions), and "the stream
+ * is over".
+ */
+
+#ifndef CGP_TRACE_SOURCE_HH
+#define CGP_TRACE_SOURCE_HH
+
+#include <cstddef>
+
+#include "trace/events.hh"
+
+namespace cgp
+{
+
+class TraceSource
+{
+  public:
+    enum class Pull
+    {
+        Event, ///< @p out holds the next event
+        Dry,   ///< no event this cycle; retry later
+        End    ///< the stream is exhausted for good
+    };
+
+    virtual ~TraceSource() = default;
+
+    /** Produce the next trace event, if any. */
+    virtual Pull next(TraceEvent &out) = 0;
+};
+
+/** Adapts a pre-recorded TraceBuffer to the pull interface (the
+ *  legacy single-stream path; never returns Dry). */
+class BufferTraceSource final : public TraceSource
+{
+  public:
+    explicit BufferTraceSource(const TraceBuffer &buffer)
+        : buffer_(buffer)
+    {
+    }
+
+    Pull
+    next(TraceEvent &out) override
+    {
+        if (idx_ >= buffer_.size())
+            return Pull::End;
+        out = buffer_.at(idx_++);
+        return Pull::Event;
+    }
+
+  private:
+    const TraceBuffer &buffer_;
+    std::size_t idx_ = 0;
+};
+
+} // namespace cgp
+
+#endif // CGP_TRACE_SOURCE_HH
