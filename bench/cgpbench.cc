@@ -493,6 +493,70 @@ cmdReport(const Options &opt)
         pc.print(std::cout);
     }
 
+    // Sampled campaigns get an estimate table: mean [95% CI] per
+    // metric, plus the cycle-loop speedup against the full-detail
+    // job of the same workload+config when the run contains one.
+    bool any_sampled = false;
+    for (const auto &[index, r] : run.results) {
+        if (r.sampledEnabled) {
+            any_sampled = true;
+            break;
+        }
+    }
+    if (any_sampled) {
+        const auto ci = [](const sample::SampledEstimate &e,
+                           int digits) {
+            return TablePrinter::fixed(e.mean, digits) + " [" +
+                TablePrinter::fixed(e.ciLow, digits) + ", " +
+                TablePrinter::fixed(e.ciHigh, digits) + "]";
+        };
+        // Full-detail job for (workload, label-before-"+smp").
+        const auto fullDetail =
+            [&run](const JobSpec &job) -> const SimResult * {
+            const std::size_t pos = job.label.find("+smp");
+            const std::string base = pos == std::string::npos
+                ? job.label
+                : job.label.substr(0, pos);
+            for (const JobSpec &j : run.jobs) {
+                const auto it = run.results.find(j.index);
+                if (it == run.results.end() ||
+                    it->second.sampledEnabled)
+                    continue;
+                if (j.workload == job.workload && j.label == base)
+                    return &it->second;
+            }
+            return nullptr;
+        };
+        std::cout << "\n";
+        TablePrinter sm("Sampled estimates (mean [95% CI])");
+        sm.setHeader({"job", "workload", "config", "windows",
+                      "CPI", "L1-I miss", "L1-D miss",
+                      "detailed cyc", "speedup"});
+        for (const JobSpec &j : run.jobs) {
+            const auto it = run.results.find(j.index);
+            if (it == run.results.end() ||
+                !it->second.sampledEnabled)
+                continue;
+            const auto &smp = it->second.sampled;
+            const SimResult *base = fullDetail(j);
+            const std::string speedup = base == nullptr ||
+                    smp.detailedCycles == 0
+                ? "-"
+                : TablePrinter::fixed(
+                      static_cast<double>(base->cycles) /
+                          static_cast<double>(smp.detailedCycles),
+                      1) +
+                    "x";
+            sm.addRow({std::to_string(j.index), j.workload, j.label,
+                       TablePrinter::num(smp.windows),
+                       ci(smp.cpi, 3), ci(smp.l1iMissRate, 4),
+                       ci(smp.l1dMissRate, 4),
+                       TablePrinter::num(smp.detailedCycles),
+                       speedup});
+        }
+        sm.print(std::cout);
+    }
+
     if (!run.failures.empty()) {
         std::cout << "\n";
         TablePrinter f("Failed jobs");

@@ -1,6 +1,9 @@
 #include "branch/predictor.hh"
 
+#include <stdexcept>
+
 #include "util/bitops.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -144,8 +147,10 @@ BranchUnit::Prediction
 BranchUnit::predictConditional(Addr pc, bool actual_taken,
                                Addr actual_target)
 {
-    ++lookups_;
-    ++condLookups_;
+    if (!warming_) {
+        ++lookups_;
+        ++condLookups_;
+    }
     Prediction p;
     p.taken = direction_.predict(pc);
     if (p.taken)
@@ -155,7 +160,7 @@ BranchUnit::predictConditional(Addr pc, bool actual_taken,
     const bool target_wrong =
         actual_taken && p.taken && (!p.targetKnown ||
                                     p.target != actual_target);
-    if (direction_wrong || target_wrong) {
+    if ((direction_wrong || target_wrong) && !warming_) {
         ++mispredicts_;
         if (direction_wrong)
             ++condMispredicts_;
@@ -170,11 +175,12 @@ BranchUnit::predictConditional(Addr pc, bool actual_taken,
 BranchUnit::Prediction
 BranchUnit::predictJump(Addr pc, Addr actual_target)
 {
-    ++lookups_;
+    if (!warming_)
+        ++lookups_;
     Prediction p;
     p.taken = true;
     p.targetKnown = btb_.lookup(pc, p.target);
-    if (!p.targetKnown || p.target != actual_target) {
+    if ((!p.targetKnown || p.target != actual_target) && !warming_) {
         ++mispredicts_;
         ++btbMisses_;
     }
@@ -186,11 +192,12 @@ BranchUnit::Prediction
 BranchUnit::predictCall(Addr pc, Addr actual_target,
                         Addr caller_func_start)
 {
-    ++lookups_;
+    if (!warming_)
+        ++lookups_;
     Prediction p;
     p.taken = true;
     p.targetKnown = btb_.lookup(pc, p.target);
-    if (!p.targetKnown || p.target != actual_target) {
+    if ((!p.targetKnown || p.target != actual_target) && !warming_) {
         ++mispredicts_;
         ++btbMisses_;
     }
@@ -205,18 +212,142 @@ BranchUnit::Prediction
 BranchUnit::predictReturn(Addr pc, Addr actual_target)
 {
     (void)pc;
-    ++lookups_;
+    if (!warming_)
+        ++lookups_;
     Prediction p;
     p.taken = true;
     const auto entry = ras_.pop();
     p.target = entry.returnAddr;
     p.targetKnown = entry.returnAddr != invalidAddr;
     p.callerFuncStart = entry.callerFuncStart;
-    if (!p.targetKnown || p.target != actual_target) {
+    if ((!p.targetKnown || p.target != actual_target) && !warming_) {
         ++mispredicts_;
         ++rasMispredicts_;
     }
     return p;
+}
+
+Json
+TwoLevelPredictor::saveState() const
+{
+    Json j = Json::object();
+    j.set("bits", bits_);
+    j.set("history", history_);
+    Json pht = Json::array();
+    for (std::uint8_t ctr : pht_)
+        pht.push(static_cast<unsigned>(ctr));
+    j.set("pht", std::move(pht));
+    return j;
+}
+
+void
+TwoLevelPredictor::loadState(const Json &state)
+{
+    if (state.at("bits").asUint() != bits_)
+        throw std::runtime_error("PHT geometry mismatch");
+    const Json &pht = state.at("pht");
+    if (pht.size() != pht_.size())
+        throw std::runtime_error("PHT size mismatch");
+    history_ = state.at("history").asUint();
+    for (std::size_t i = 0; i < pht_.size(); ++i)
+        pht_[i] = static_cast<std::uint8_t>(pht[i].asUint());
+}
+
+Json
+Btb::saveState() const
+{
+    Json j = Json::object();
+    j.set("sets", sets_);
+    j.set("assoc", assoc_);
+    j.set("tick", tick_);
+    Json pcs = Json::array();
+    Json targets = Json::array();
+    Json lrus = Json::array();
+    for (const Entry &e : entries_) {
+        pcs.push(e.pc);
+        targets.push(e.target);
+        lrus.push(e.lru);
+    }
+    j.set("pc", std::move(pcs));
+    j.set("target", std::move(targets));
+    j.set("lru", std::move(lrus));
+    return j;
+}
+
+void
+Btb::loadState(const Json &state)
+{
+    if (state.at("sets").asUint() != sets_ ||
+        state.at("assoc").asUint() != assoc_) {
+        throw std::runtime_error("BTB geometry mismatch");
+    }
+    const Json &pcs = state.at("pc");
+    const Json &targets = state.at("target");
+    const Json &lrus = state.at("lru");
+    if (pcs.size() != entries_.size() ||
+        targets.size() != entries_.size() ||
+        lrus.size() != entries_.size()) {
+        throw std::runtime_error("BTB size mismatch");
+    }
+    tick_ = state.at("tick").asUint();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].pc = pcs[i].asUint();
+        entries_[i].target = targets[i].asUint();
+        entries_[i].lru = lrus[i].asUint();
+    }
+}
+
+Json
+ReturnAddressStack::saveState() const
+{
+    Json j = Json::object();
+    j.set("depth",
+          static_cast<std::uint64_t>(stack_.size()));
+    j.set("top", top_);
+    j.set("size", size_);
+    Json entries = Json::array();
+    for (const Entry &e : stack_) {
+        entries.push(e.returnAddr);
+        entries.push(e.callerFuncStart);
+    }
+    j.set("entries", std::move(entries));
+    return j;
+}
+
+void
+ReturnAddressStack::loadState(const Json &state)
+{
+    if (state.at("depth").asUint() != stack_.size())
+        throw std::runtime_error("RAS depth mismatch");
+    const Json &entries = state.at("entries");
+    if (entries.size() != stack_.size() * 2)
+        throw std::runtime_error("RAS entry count mismatch");
+    top_ = static_cast<unsigned>(state.at("top").asUint());
+    size_ = static_cast<unsigned>(state.at("size").asUint());
+    if (top_ >= stack_.size() || size_ > stack_.size())
+        throw std::runtime_error("RAS pointers out of range");
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+        stack_[i].returnAddr = entries[i * 2].asUint();
+        stack_[i].callerFuncStart = entries[i * 2 + 1].asUint();
+    }
+}
+
+Json
+BranchUnit::saveState() const
+{
+    Json j = Json::object();
+    j.set("direction", direction_.saveState());
+    j.set("btb", btb_.saveState());
+    j.set("ras", ras_.saveState());
+    return j;
+}
+
+void
+BranchUnit::loadState(const Json &state)
+{
+    direction_.loadState(state.at("direction"));
+    btb_.loadState(state.at("btb"));
+    ras_.loadState(state.at("ras"));
 }
 
 } // namespace cgp

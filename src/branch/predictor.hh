@@ -23,6 +23,8 @@
 namespace cgp
 {
 
+class Json;
+
 struct BranchPredictorConfig
 {
     /** log2 of pattern history table entries (2K entries = 11). */
@@ -48,6 +50,11 @@ class TwoLevelPredictor
     bool predict(Addr pc) const;
     void update(Addr pc, bool taken);
 
+    /// @{ Warm-state checkpointing (history register + PHT).
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
+
   private:
     std::size_t index(Addr pc) const;
 
@@ -66,6 +73,11 @@ class Btb
     bool lookup(Addr pc, Addr &target) const;
 
     void update(Addr pc, Addr target);
+
+    /// @{ Warm-state checkpointing (entry array + LRU tick).
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
 
   private:
     struct Entry
@@ -107,6 +119,11 @@ class ReturnAddressStack
 
     bool empty() const { return size_ == 0; }
     unsigned size() const { return size_; }
+
+    /// @{ Warm-state checkpointing (circular buffer + top + size).
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
 
   private:
     std::vector<Entry> stack_;
@@ -154,10 +171,25 @@ class BranchUnit
     std::uint64_t mispredicts() const { return mispredicts_.value(); }
     std::uint64_t lookups() const { return lookups_.value(); }
 
+    /**
+     * Functional-warming mode: predict*() keeps updating the PHT,
+     * BTB and RAS (state trains) but every counter stays frozen —
+     * warmed instructions are outside the measured windows.
+     */
+    void setWarming(bool warming) { warming_ = warming; }
+
+    /// @{ Warm-state checkpointing of the three structures (counters
+    /// are not serialized: checkpoints are cut from a pure warmup,
+    /// during which every counter is frozen at zero).
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
+
   private:
     TwoLevelPredictor direction_;
     Btb btb_;
     ReturnAddressStack ras_;
+    bool warming_ = false;
 
     Counter lookups_;
     Counter mispredicts_;

@@ -275,6 +275,10 @@ Core::predictControl(const DynInst &inst)
 void
 Core::doFetch()
 {
+    // Sampling drain: checked before any stall accounting so a
+    // suspended fetch stage leaves every counter untouched.
+    if (fetchSuspended_)
+        return;
     if (blockedOnSeq_.has_value()) {
         ++fetchBranchStallCycles_;
         return;
@@ -354,6 +358,71 @@ Core::beginRun()
 {
     wallBudget_ = config_.maxWallSeconds > 0.0;
     wallStart_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t
+Core::fastForward(std::uint64_t max_instrs, bool warm_state)
+{
+    if (warm_state) {
+        // Freeze every statistic while predictive state trains:
+        // caches suppress prefetch issue, the branch unit and CGHC
+        // stop counting, and demand traffic goes through the
+        // counter-free warm path.
+        mem_.setWarming(true);
+        branch_.setWarming(true);
+        if (prefetcher_ != nullptr)
+            prefetcher_->setWarming(true);
+    }
+
+    std::uint64_t done = 0;
+    DynInst inst;
+    while (done < max_instrs && peek(inst)) {
+        consume();
+        if (warm_state) {
+            const Addr line = mem_.l1i().lineAlign(inst.pc);
+            if (!config_.perfectICache && line != lastFetchLine_) {
+                mem_.l1i().warmAccess(line, false);
+                lastFetchLine_ = line;
+                if (prefetcher_ != nullptr)
+                    prefetcher_->onFetchLine(line, now_);
+            }
+            if (dprefetcher_ != nullptr &&
+                inst.hintAddr != invalidAddr) {
+                dprefetcher_->onHint(
+                    static_cast<DataHintKind>(inst.hintKind),
+                    inst.hintAddr, now_);
+            }
+            if (isControl(inst.kind)) {
+                // Mispredictions cost nothing here; the branch
+                // structures and the CGHC still train.
+                (void)predictControl(inst);
+            }
+            if (inst.kind == InstKind::Load ||
+                inst.kind == InstKind::Store) {
+                const bool is_write = inst.kind == InstKind::Store;
+                const bool miss =
+                    mem_.l1d().warmAccess(inst.memAddr, is_write);
+                if (dprefetcher_ != nullptr) {
+                    dprefetcher_->onAccess(inst.pc, inst.memAddr,
+                                           is_write, miss, now_);
+                    if (miss) {
+                        dprefetcher_->onMiss(inst.pc, inst.memAddr,
+                                             now_);
+                    }
+                }
+            }
+        }
+        ++done;
+        ++warmedInstrs_;
+    }
+
+    if (warm_state) {
+        mem_.setWarming(false);
+        branch_.setWarming(false);
+        if (prefetcher_ != nullptr)
+            prefetcher_->setWarming(false);
+    }
+    return done;
 }
 
 void

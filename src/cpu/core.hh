@@ -115,6 +115,54 @@ class Core
     bool finished() const { return finished_; }
     /// @}
 
+    /// @{ SMARTS-style sampling support (src/sample drives these).
+    /**
+     * Fast-forward functional warming: consume up to @p max_instrs
+     * instructions from the stream without cycle-accurate timing.
+     * With @p warm_state (the default) every consumed instruction
+     * still updates the caches (via Cache::warmAccess), the branch
+     * structures, the CGHC and the D-prefetch tables, with all
+     * statistics counters frozen; without it the stream merely
+     * advances (the deliberately-unwarmed perturbation mode the
+     * validation suite uses).  Consumed instructions count into
+     * warmedInstrs(), never into committedInstrs().
+     * @return instructions actually consumed (less than the budget
+     *         only when the stream ran dry or ended).
+     */
+    std::uint64_t fastForward(std::uint64_t max_instrs,
+                              bool warm_state = true);
+
+    /** Stop fetching new instructions (drain before a jump). */
+    void suspendFetch(bool suspend) { fetchSuspended_ = suspend; }
+
+    /** Pipeline empty: safe to fast-forward / cut a checkpoint. */
+    bool
+    drained() const
+    {
+        return rob_.empty() && fetchQueue_.empty();
+    }
+
+    /** Jump the cycle clock over a fast-forwarded region. */
+    void advanceClock(Cycle skip) { now_ += skip; }
+
+    /** Instructions consumed by fastForward (not committed). */
+    std::uint64_t warmedInstrs() const { return warmedInstrs_; }
+
+    /** Cycles fetch spent waiting on I-cache fills. */
+    std::uint64_t
+    fetchIcacheStallCycles() const
+    {
+        return fetchIcacheStallCycles_.value();
+    }
+
+    /** Mutable branch unit (checkpoint save/restore). */
+    BranchUnit &branchUnit() { return branch_; }
+
+    /** Fetch-line tracking state for checkpoints. */
+    Addr lastFetchLine() const { return lastFetchLine_; }
+    void setLastFetchLine(Addr line) { lastFetchLine_ = line; }
+    /// @}
+
     Cycle cycles() const { return now_; }
     std::uint64_t committedInstrs() const { return committed_.value(); }
     std::uint64_t idleCycles() const { return idleCycles_.value(); }
@@ -177,6 +225,8 @@ class Core
     std::optional<DynInst> pending_;
     bool streamDone_ = false;
     bool finished_ = false;
+    bool fetchSuspended_ = false;
+    std::uint64_t warmedInstrs_ = 0;
     bool wallBudget_ = false;
     std::chrono::steady_clock::time_point wallStart_{};
 

@@ -1,5 +1,9 @@
 #include "dprefetch/correlation.hh"
 
+#include <stdexcept>
+
+#include "util/json.hh"
+
 #include <algorithm>
 
 #include "util/bitops.hh"
@@ -136,6 +140,51 @@ CorrelationDataPrefetcher::successorsOf(Addr line) const
 {
     const Entry *e = find(line);
     return e == nullptr ? std::vector<Addr>{} : e->succ;
+}
+
+Json
+CorrelationDataPrefetcher::saveState() const
+{
+    Json j = Json::object();
+    j.set("entries",
+          static_cast<std::uint64_t>(table_.size()));
+    j.set("tick", tick_);
+    j.set("last_miss_line", lastMissLine_);
+    Json entries = Json::array();
+    for (const Entry &e : table_) {
+        Json je = Json::object();
+        je.set("tag", e.valid ? Json(e.tag) : Json(nullptr));
+        je.set("lru", e.lru);
+        Json succ = Json::array();
+        for (Addr a : e.succ)
+            succ.push(a);
+        je.set("succ", std::move(succ));
+        entries.push(std::move(je));
+    }
+    j.set("table", std::move(entries));
+    return j;
+}
+
+void
+CorrelationDataPrefetcher::loadState(const Json &state)
+{
+    if (state.at("entries").asUint() != table_.size())
+        throw std::runtime_error("correlation table size mismatch");
+    const Json &entries = state.at("table");
+    if (entries.size() != table_.size())
+        throw std::runtime_error("correlation table field mismatch");
+    tick_ = state.at("tick").asUint();
+    lastMissLine_ = state.at("last_miss_line").asUint();
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        Entry &e = table_[i];
+        const Json &je = entries[i];
+        e.valid = !je.at("tag").isNull();
+        e.tag = e.valid ? je.at("tag").asUint() : invalidAddr;
+        e.lru = je.at("lru").asUint();
+        e.succ.clear();
+        for (const Json &a : je.at("succ").items())
+            e.succ.push_back(a.asUint());
+    }
 }
 
 } // namespace cgp

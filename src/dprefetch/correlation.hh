@@ -24,6 +24,8 @@
 namespace cgp
 {
 
+class Json;
+
 struct CorrelationConfig
 {
     /** Total table entries (trigger lines tracked). */
@@ -58,6 +60,12 @@ class CorrelationDataPrefetcher : public DataPrefetcher
     std::vector<Addr> successorsOf(Addr line) const;
     std::uint64_t evictions() const { return evictions_; }
     std::uint64_t prefetchesRequested() const { return requested_; }
+    /// @}
+
+    /// @{ Warm-state checkpointing of the correlation (AMC) table
+    /// and the last-miss trigger.
+    Json saveState() const;
+    void loadState(const Json &state);
     /// @}
 
   private:

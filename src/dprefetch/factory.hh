@@ -53,6 +53,13 @@ class MultiDataPrefetcher : public DataPrefetcher
 
     const char *name() const override { return "combined"; }
 
+    /** Component engines (for checkpoint state access). */
+    const std::vector<std::unique_ptr<DataPrefetcher>> &
+    parts() const
+    {
+        return parts_;
+    }
+
   private:
     std::vector<std::unique_ptr<DataPrefetcher>> parts_;
 };

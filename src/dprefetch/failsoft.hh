@@ -38,6 +38,9 @@ class FailSoftDataPrefetcher : public DataPrefetcher
     /** What disabled it (empty while healthy). */
     const std::string &reason() const { return reason_; }
 
+    /** The wrapped engine (for checkpoint state access). */
+    DataPrefetcher *inner() { return inner_.get(); }
+
   private:
     void disable(const char *hook, const std::string &why);
 

@@ -1,6 +1,9 @@
 #include "dprefetch/semantic.hh"
 
+#include <stdexcept>
+
 #include "util/bitops.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -50,6 +53,32 @@ SemanticDataPrefetcher::onHint(DataHintKind kind, Addr addr,
         ++requested_;
         l1d_.prefetch(line, now, AccessSource::DataPrefetch);
     }
+}
+
+Json
+SemanticDataPrefetcher::saveState() const
+{
+    Json j = Json::object();
+    j.set("entries", static_cast<std::uint64_t>(recent_.size()));
+    Json lines = Json::array();
+    for (Addr line : recent_)
+        lines.push(line);
+    j.set("recent", std::move(lines));
+    return j;
+}
+
+void
+SemanticDataPrefetcher::loadState(const Json &state)
+{
+    if (state.at("entries").asUint() != recent_.size())
+        throw std::runtime_error(
+            "semantic checkpoint dedup-filter size mismatch");
+    const Json &lines = state.at("recent");
+    if (lines.size() != recent_.size())
+        throw std::runtime_error(
+            "semantic checkpoint recent-array size mismatch");
+    for (std::size_t i = 0; i < recent_.size(); ++i)
+        recent_[i] = lines[i].asUint();
 }
 
 } // namespace cgp

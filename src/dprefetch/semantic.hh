@@ -24,6 +24,8 @@
 namespace cgp
 {
 
+class Json;
+
 struct SemanticConfig
 {
     /** Lines prefetched per heap-record / scan hint. */
@@ -51,6 +53,13 @@ class SemanticDataPrefetcher : public DataPrefetcher
     /** Lines skipped by the recent-hint dedup filter. */
     std::uint64_t linesDeduped() const { return linesDeduped_; }
     std::uint64_t prefetchesRequested() const { return requested_; }
+    /// @}
+
+    /// @{ Warm-state checkpointing (DESIGN.md §11.3): the dedup
+    /// filter is predictive state; the introspection counters are
+    /// not serialized.
+    Json saveState() const;
+    void loadState(const Json &state);
     /// @}
 
   private:

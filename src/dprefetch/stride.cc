@@ -1,5 +1,9 @@
 #include "dprefetch/stride.hh"
 
+#include <stdexcept>
+
+#include "util/json.hh"
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -90,6 +94,52 @@ StrideDataPrefetcher::onAccess(Addr pc, Addr addr, bool is_write,
         prev_line = line;
         ++requested_;
         l1d_.prefetch(line, now, AccessSource::DataPrefetch);
+    }
+}
+
+Json
+StrideDataPrefetcher::saveState() const
+{
+    Json j = Json::object();
+    j.set("entries",
+          static_cast<std::uint64_t>(table_.size()));
+    Json pcs = Json::array();
+    Json lasts = Json::array();
+    Json strides = Json::array();
+    Json confs = Json::array();
+    for (const Entry &e : table_) {
+        pcs.push(e.pc);
+        lasts.push(e.lastAddr);
+        strides.push(static_cast<long long>(e.stride));
+        confs.push(e.confidence);
+    }
+    j.set("pc", std::move(pcs));
+    j.set("last_addr", std::move(lasts));
+    j.set("stride", std::move(strides));
+    j.set("confidence", std::move(confs));
+    return j;
+}
+
+void
+StrideDataPrefetcher::loadState(const Json &state)
+{
+    if (state.at("entries").asUint() != table_.size())
+        throw std::runtime_error("stride table size mismatch");
+    const Json &pcs = state.at("pc");
+    const Json &lasts = state.at("last_addr");
+    const Json &strides = state.at("stride");
+    const Json &confs = state.at("confidence");
+    if (pcs.size() != table_.size() || lasts.size() != table_.size() ||
+        strides.size() != table_.size() ||
+        confs.size() != table_.size()) {
+        throw std::runtime_error("stride table field mismatch");
+    }
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        table_[i].pc = pcs[i].asUint();
+        table_[i].lastAddr = lasts[i].asUint();
+        table_[i].stride = strides[i].asInt();
+        table_[i].confidence =
+            static_cast<unsigned>(confs[i].asUint());
     }
 }
 

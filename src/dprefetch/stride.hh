@@ -22,6 +22,8 @@
 namespace cgp
 {
 
+class Json;
+
 struct StrideConfig
 {
     /** Direct-mapped table entries (per-PC). */
@@ -52,6 +54,11 @@ class StrideDataPrefetcher : public DataPrefetcher
      *  slot is empty or held by another PC). */
     unsigned confidenceFor(Addr pc) const;
     std::uint64_t prefetchesRequested() const { return requested_; }
+    /// @}
+
+    /// @{ Warm-state checkpointing of the per-PC table.
+    Json saveState() const;
+    void loadState(const Json &state);
     /// @}
 
   private:

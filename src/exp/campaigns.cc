@@ -436,6 +436,47 @@ makeServerSmoke()
 }
 
 CampaignSpec
+makeFigSampled()
+{
+    CampaignSpec s;
+    s.name = "fig_sampled";
+    s.title = "Figure S — sampled vs full-detail "
+              "(accuracy x speedup)";
+    // The two largest bundled mixes: the workloads where sampling
+    // pays.  Each sampled point is compared against the full-detail
+    // baseline of the same prefetch configuration — the CI must
+    // contain the ground truth while the cycle loop runs >= 5x less.
+    s.workloads = {"wisc-large-2", "wisc+tpch"};
+    s.explicitConfigs = {
+        SimConfig::o5Om(),
+        cgp4om(),
+        SimConfig::withSampling(SimConfig::o5Om(), 20000, 200000,
+                                100000),
+        SimConfig::withSampling(cgp4om(), 20000, 200000, 100000),
+        SimConfig::withSampling(cgp4om(), 50000, 500000, 100000),
+        SimConfig::withSampling(cgp4om(), 10000, 50000, 100000),
+    };
+    return s;
+}
+
+CampaignSpec
+makeSampledSmoke()
+{
+    CampaignSpec s;
+    s.name = "sampled-smoke";
+    s.title = "Sampled smoke (2K windows / 10K periods)";
+    // The smoke traces run ~120K instructions, so the windows must
+    // be small for several periods to fit after warmup.
+    s.workloads = smokeWorkloadNames();
+    s.explicitConfigs = {
+        SimConfig::withSampling(SimConfig::o5Om(), 2000, 10000,
+                                10000),
+        SimConfig::withSampling(cgp4om(), 2000, 10000, 10000),
+    };
+    return s;
+}
+
+CampaignSpec
 makeSmoke()
 {
     CampaignSpec s;
@@ -451,7 +492,8 @@ makeSmoke()
 
 const std::vector<std::string> figureNames = {
     "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "figD_dstall", "figID_interaction", "server-scale"};
+    "figD_dstall", "figID_interaction", "server-scale",
+    "fig_sampled"};
 
 const std::vector<std::string> ablationNames = {
     "ablation-ranl", "ablation-design-depth",
@@ -468,6 +510,7 @@ campaignNames()
                  ablationNames.end());
     names.push_back("smoke");
     names.push_back("server-smoke");
+    names.push_back("sampled-smoke");
     return names;
 }
 
@@ -510,6 +553,10 @@ paperCampaign(const std::string &name)
         return makeSmoke();
     if (name == "server-smoke")
         return makeServerSmoke();
+    if (name == "fig_sampled")
+        return makeFigSampled();
+    if (name == "sampled-smoke")
+        return makeSampledSmoke();
     throw std::invalid_argument("unknown campaign '" + name + "'");
 }
 

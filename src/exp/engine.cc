@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "exp/checkpoint.hh"
 #include "exp/rundir.hh"
 #include "exp/scheduler.hh"
 #include "fault/fault.hh"
@@ -154,6 +155,15 @@ runCampaign(const CampaignSpec &spec, WorkloadProvider &provider,
         }
         if (options.watchdogWallSeconds > 0.0)
             cfg.core.maxWallSeconds = options.watchdogWallSeconds;
+
+        // Sampled jobs with a run directory share its sealed
+        // checkpoint store, so repeated invocations over the same
+        // workload prefix skip functional warming.
+        if (cfg.sample.enabled && cfg.sample.useCheckpoints &&
+            dir.enabled()) {
+            cfg.sample.checkpoints =
+                makeSealedCheckpointStore(options.runDir);
+        }
 
         SimResult r;
         for (unsigned attempt = 1;; ++attempt) {

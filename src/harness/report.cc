@@ -126,6 +126,33 @@ writeReport(const SimResult &result, std::ostream &os)
                           srv.perCore[i].utilization())});
         }
     }
+    if (result.sampledEnabled) {
+        const auto &smp = result.sampled;
+        t.addRule();
+        t.addRow({"sampled windows", TablePrinter::num(smp.windows)});
+        t.addRow({"detailed cycles",
+                  TablePrinter::num(smp.detailedCycles)});
+        t.addRow({"warmed instrs",
+                  TablePrinter::num(smp.warmedInstrs)});
+        if (smp.detailedCycles > 0) {
+            t.addRow({"cycle-loop speedup",
+                      TablePrinter::fixed(
+                          static_cast<double>(result.cycles) /
+                              static_cast<double>(smp.detailedCycles),
+                          1) + "x"});
+        }
+        const auto est_row = [&t](const char *name,
+                                  const sample::SampledEstimate &e) {
+            t.addRow({name,
+                      TablePrinter::fixed(e.mean, 4) + " [" +
+                          TablePrinter::fixed(e.ciLow, 4) + ", " +
+                          TablePrinter::fixed(e.ciHigh, 4) + "]"});
+        };
+        est_row("CPI est [95% CI]", smp.cpi);
+        est_row("L1-I miss rate est", smp.l1iMissRate);
+        est_row("L1-D miss rate est", smp.l1dMissRate);
+        est_row("fetch stall/instr est", smp.fetchStallPerInstr);
+    }
     t.print(os);
 }
 
@@ -229,6 +256,68 @@ serverToJson(const server::ServerStats &stats)
     return j;
 }
 
+Json
+estimateToJson(const sample::SampledEstimate &est)
+{
+    Json j = Json::object();
+    j.set("samples", est.samples);
+    j.set("mean", est.mean);
+    j.set("sem", est.sem);
+    j.set("ci_low", est.ciLow);
+    j.set("ci_high", est.ciHigh);
+    return j;
+}
+
+sample::SampledEstimate
+estimateFromJson(const Json &j)
+{
+    sample::SampledEstimate est;
+    est.samples = j.at("samples").asUint();
+    est.mean = j.at("mean").asDouble();
+    est.sem = j.at("sem").asDouble();
+    est.ciLow = j.at("ci_low").asDouble();
+    est.ciHigh = j.at("ci_high").asDouble();
+    return est;
+}
+
+Json
+sampledToJson(const sample::SampledStats &stats)
+{
+    Json j = Json::object();
+    j.set("windows", stats.windows);
+    j.set("detailed_cycles", stats.detailedCycles);
+    j.set("detailed_instrs", stats.detailedInstrs);
+    j.set("warmed_instrs", stats.warmedInstrs);
+    j.set("skipped_cycles", stats.skippedCycles);
+    j.set("checkpoint_used", stats.checkpointUsed);
+    j.set("checkpoint_saved", stats.checkpointSaved);
+    j.set("cpi", estimateToJson(stats.cpi));
+    j.set("l1i_miss_rate", estimateToJson(stats.l1iMissRate));
+    j.set("l1d_miss_rate", estimateToJson(stats.l1dMissRate));
+    j.set("fetch_stall_per_instr",
+          estimateToJson(stats.fetchStallPerInstr));
+    return j;
+}
+
+sample::SampledStats
+sampledFromJson(const Json &j)
+{
+    sample::SampledStats s;
+    s.windows = j.at("windows").asUint();
+    s.detailedCycles = j.at("detailed_cycles").asUint();
+    s.detailedInstrs = j.at("detailed_instrs").asUint();
+    s.warmedInstrs = j.at("warmed_instrs").asUint();
+    s.skippedCycles = j.at("skipped_cycles").asUint();
+    s.checkpointUsed = j.at("checkpoint_used").asBool();
+    s.checkpointSaved = j.at("checkpoint_saved").asBool();
+    s.cpi = estimateFromJson(j.at("cpi"));
+    s.l1iMissRate = estimateFromJson(j.at("l1i_miss_rate"));
+    s.l1dMissRate = estimateFromJson(j.at("l1d_miss_rate"));
+    s.fetchStallPerInstr =
+        estimateFromJson(j.at("fetch_stall_per_instr"));
+    return s;
+}
+
 server::ServerStats
 serverFromJson(const Json &j)
 {
@@ -294,6 +383,9 @@ toJson(const SimResult &result)
     // their goldens) stay byte-identical.
     if (result.serverEnabled)
         j.set("server", serverToJson(result.server));
+    // Same backward-compatibility contract for sampled runs.
+    if (result.sampledEnabled)
+        j.set("sampled", sampledToJson(result.sampled));
     return j;
 }
 
@@ -341,6 +433,10 @@ simResultFromJson(const Json &json)
     if (const Json *srv = json.find("server")) {
         r.serverEnabled = true;
         r.server = serverFromJson(*srv);
+    }
+    if (const Json *smp = json.find("sampled")) {
+        r.sampledEnabled = true;
+        r.sampled = sampledFromJson(*smp);
     }
     return r;
 }

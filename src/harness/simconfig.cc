@@ -123,6 +123,19 @@ SimConfig::withServer(SimConfig base, unsigned cores,
     return c;
 }
 
+SimConfig
+SimConfig::withSampling(SimConfig base, Cycle windowCycles,
+                        Cycle periodCycles,
+                        std::uint64_t warmupInstrs)
+{
+    SimConfig c = std::move(base);
+    c.sample.enabled = true;
+    c.sample.windowCycles = windowCycles;
+    c.sample.periodCycles = periodCycles;
+    c.sample.warmupInstrs = warmupInstrs;
+    return c;
+}
+
 std::string
 SimConfig::describe() const
 {
@@ -158,6 +171,8 @@ SimConfig::describe() const
         s += "+srv" + std::to_string(server.cores) + "c" +
             std::to_string(server.sessions) + "s";
     }
+    if (sample.enabled)
+        s += "+" + sample.describe();
     return s;
 }
 

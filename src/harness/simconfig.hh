@@ -16,6 +16,7 @@
 #include "dprefetch/factory.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/cghc.hh"
+#include "sample/config.hh"
 #include "server/config.hh"
 
 namespace cgp
@@ -69,6 +70,15 @@ struct SimConfig
      */
     server::ServerConfig server;
 
+    /**
+     * SMARTS-style sampling axis (src/sample).  When enabled the
+     * run alternates detailed windows with fast-forward functional
+     * warming and reports CPI / miss-rate estimates with confidence
+     * intervals; disabled (the default) the simulation path is
+     * bit-identical to the legacy full-detail run.
+     */
+    sample::SampleConfig sample;
+
     /// @{ Named experiment points.
     static SimConfig o5();
     static SimConfig o5Om();
@@ -102,6 +112,14 @@ struct SimConfig
     static SimConfig withServer(SimConfig base, unsigned cores,
                                 unsigned sessions,
                                 std::uint64_t totalQueries);
+    /**
+     * Lift any base configuration onto sampled simulation: detailed
+     * windows of @p windowCycles every @p periodCycles, functional
+     * warming in between.
+     */
+    static SimConfig withSampling(SimConfig base, Cycle windowCycles,
+                                  Cycle periodCycles,
+                                  std::uint64_t warmupInstrs = 200000);
     /// @}
 
     /** Bar label in the paper's style ("O5+OM+CGP_4"). */

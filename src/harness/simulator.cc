@@ -12,6 +12,7 @@
 #include "prefetch/nextline.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/software_cgp.hh"
+#include "sample/controller.hh"
 #include "server/server.hh"
 #include "trace/expand.hh"
 #include "trace/source.hh"
@@ -35,6 +36,7 @@ struct EngineSet
     FailSoftPrefetcher *failsoft = nullptr;
     FailSoftDataPrefetcher *dfailsoft = nullptr;
     const Cghc *cghc = nullptr;
+    Cghc *cghcMut = nullptr; ///< checkpoint restore needs mutability
     bool ctorFailed = false;
     std::string ctorReason;
 };
@@ -69,7 +71,8 @@ buildEngines(MemoryHierarchy &mem, const SimConfig &config,
           case PrefetchKind::Cgp: {
             auto cgp = std::make_unique<CgpPrefetcher>(
                 mem.l1i(), config.cghc, config.depth);
-            set.cghc = &cgp->cghc();
+            set.cghcMut = &cgp->cghc();
+            set.cghc = set.cghcMut;
             inner = std::move(cgp);
             break;
           }
@@ -84,6 +87,7 @@ buildEngines(MemoryHierarchy &mem, const SimConfig &config,
         set.ctorFailed = true;
         set.ctorReason = e.what();
         set.cghc = nullptr;
+        set.cghcMut = nullptr;
         inner.reset();
         cgp_error("prefetcher construction failed (", set.ctorReason,
                   "); running without prefetch");
@@ -146,6 +150,45 @@ accumulateCacheCounters(SimResult &r, const Cache &l1i,
     r.dpf.useless += l1d.useless(AccessSource::DataPrefetch);
     r.squashedPrefetches += l1i.squashedPrefetches();
     r.dSquashedPrefetches += l1d.squashedPrefetches();
+}
+
+/**
+ * Wire the checkpointable structures of one single-core machine into
+ * a CheckpointParts.  The D-side engines hide behind the fail-soft
+ * wrapper (and, for the Combined stack, the multi fan-out), so they
+ * are recovered by type.
+ */
+sample::CheckpointParts
+makeCheckpointParts(MemoryHierarchy &mem, Core &core,
+                    EngineSet &engines)
+{
+    sample::CheckpointParts p;
+    p.l1i = &mem.l1i();
+    p.l1d = &mem.l1d();
+    p.l2 = &mem.l2();
+    p.branch = &core.branchUnit();
+    p.cghc = engines.cghcMut;
+    p.core = &core;
+    if (engines.dfailsoft != nullptr) {
+        const auto bind = [&p](DataPrefetcher *e) {
+            if (auto *s = dynamic_cast<StrideDataPrefetcher *>(e))
+                p.stride = s;
+            else if (auto *c =
+                         dynamic_cast<CorrelationDataPrefetcher *>(e))
+                p.correlation = c;
+            else if (auto *h =
+                         dynamic_cast<SemanticDataPrefetcher *>(e))
+                p.semantic = h;
+        };
+        DataPrefetcher *inner = engines.dfailsoft->inner();
+        if (auto *multi = dynamic_cast<MultiDataPrefetcher *>(inner)) {
+            for (const auto &part : multi->parts())
+                bind(part.get());
+        } else {
+            bind(inner);
+        }
+    }
+    return p;
 }
 
 /** Add one core's arbiter counters (no-op without an arbiter). */
@@ -212,6 +255,10 @@ runServerSimulation(const Workload &workload, const SimConfig &config)
     wiring.mem = config.mem;
     wiring.core = config.core;
     wiring.core.perfectICache = config.perfectICache;
+    wiring.sample = config.sample;
+    // No warm-state checkpoints on the server path: session and
+    // scheduler state are not serialized (DESIGN.md §11.4).
+    wiring.sample.checkpoints = {};
 
     if (config.server.singleStream) {
         wiring.singleStream = workload.trace.get();
@@ -270,6 +317,11 @@ runServerSimulation(const Workload &workload, const SimConfig &config)
 
     r.serverEnabled = true;
     r.server = srv.stats();
+    if (config.sample.enabled) {
+        r.sampledEnabled = true;
+        r.sampled = srv.sampledStats();
+        r.instrs += r.sampled.warmedInstrs;
+    }
     return r;
 }
 
@@ -310,8 +362,21 @@ runSimulation(const Workload &workload, const SimConfig &config)
     Core core(stream, mem, engines.iengine.get(), core_cfg,
               engines.dengine.get());
 
-    // 3. Run.
-    core.run();
+    // 3. Run — full-detail Core::run(), or the sampling controller
+    // when the sampling axis is enabled (the legacy path stays
+    // byte-identical: nothing below branches on sampling except the
+    // extra result block).
+    sample::SampledStats sampledStats;
+    if (config.sample.enabled) {
+        sample::CheckpointParts parts =
+            makeCheckpointParts(mem, core, engines);
+        sampledStats =
+            sample::runSampled(core, mem, stream, config.sample,
+                               parts, workload.name,
+                               config.describe());
+    } else {
+        core.run();
+    }
 
     // 4. Collect.
     SimResult r;
@@ -319,6 +384,14 @@ runSimulation(const Workload &workload, const SimConfig &config)
     r.config = config.describe();
     r.cycles = core.cycles();
     r.instrs = core.committedInstrs();
+    if (config.sample.enabled) {
+        // Warmed instructions executed (functionally); cycles()
+        // already includes the IPC-scaled clock jumps, so the pair
+        // remains an end-to-end CPI estimate.
+        r.instrs += sampledStats.warmedInstrs;
+        r.sampledEnabled = true;
+        r.sampled = sampledStats;
+    }
 
     accumulateCacheCounters(r, mem.l1i(), mem.l1d());
     r.l2Misses = mem.l2().demandMisses();

@@ -13,6 +13,7 @@
 
 #include "harness/simconfig.hh"
 #include "harness/workload.hh"
+#include "sample/estimator.hh"
 #include "server/stats.hh"
 
 namespace cgp
@@ -121,6 +122,14 @@ struct SimResult
     server::ServerStats server;
     /// @}
 
+    /// @{ Sampled run (config.sample.enabled): cycles/instrs above
+    /// include the fast-forwarded regions (estimated clock, warmed
+    /// instructions); `sampled` carries the per-window estimators
+    /// and the detailed-cycle count the speedup claim rests on.
+    bool sampledEnabled = false;
+    sample::SampledStats sampled;
+    /// @}
+
     double
     ipc() const
     {
@@ -164,7 +173,9 @@ struct SimResult
             a.degradedReason == b.degradedReason &&
             a.instrsPerCall == b.instrsPerCall &&
             a.serverEnabled == b.serverEnabled &&
-            a.server == b.server;
+            a.server == b.server &&
+            a.sampledEnabled == b.sampledEnabled &&
+            a.sampled == b.sampled;
     }
 };
 

@@ -1,6 +1,7 @@
 #include "harness/workload.hh"
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "db/dbsys.hh"
 #include "db/tpch.hh"
@@ -120,7 +121,14 @@ WorkloadFactory::quantumInstrs()
 DbWorkloadSet
 WorkloadFactory::buildDbSet()
 {
-    const double s = scale();
+    return buildDbSet(scale());
+}
+
+DbWorkloadSet
+WorkloadFactory::buildDbSet(double s)
+{
+    if (!(s > 0.0))
+        throw std::invalid_argument("workload scale must be > 0");
     const auto wisc_prof_n =
         static_cast<std::uint32_t>(std::max(1000.0 * s, 200.0));
     const auto wisc_large_n =
@@ -224,6 +232,15 @@ WorkloadFactory::buildDbSet()
 Workload
 WorkloadFactory::buildSpec(const spec::SpecProgramSpec &spec)
 {
+    return buildSpec(spec, scale());
+}
+
+Workload
+WorkloadFactory::buildSpec(const spec::SpecProgramSpec &spec,
+                           double s)
+{
+    if (!(s > 0.0))
+        throw std::invalid_argument("workload scale must be > 0");
     Workload w;
     w.name = spec.name;
     w.registry = std::make_shared<FunctionRegistry>();
@@ -238,7 +255,6 @@ WorkloadFactory::buildSpec(const spec::SpecProgramSpec &spec)
 
     // ... measurement on the "train" input.
     auto train = std::make_shared<TraceBuffer>();
-    const double s = scale();
     spec::SpecProgramSpec scaled = spec;
     scaled.trainInstrs = static_cast<std::uint64_t>(
         static_cast<double>(spec.trainInstrs) * std::min(s * 4, 1.0));
@@ -251,9 +267,15 @@ WorkloadFactory::buildSpec(const spec::SpecProgramSpec &spec)
 std::vector<Workload>
 WorkloadFactory::buildCpu2000Suite()
 {
+    return buildCpu2000Suite(scale());
+}
+
+std::vector<Workload>
+WorkloadFactory::buildCpu2000Suite(double s)
+{
     std::vector<Workload> out;
     for (const auto &spec : spec::cpu2000Suite())
-        out.push_back(buildSpec(spec));
+        out.push_back(buildSpec(spec, s));
     return out;
 }
 

@@ -64,15 +64,29 @@ class WorkloadFactory
     /** Scheduling quantum in instructions for query interleaving. */
     static std::uint64_t quantumInstrs();
 
-    /** Build all four DB workloads plus the merged OM profile. */
+    /** Build all four DB workloads plus the merged OM profile,
+     *  at the environment scale (CGP_SCALE). */
     static DbWorkloadSet buildDbSet();
+
+    /** Same, at an explicit scale.  Builds are deterministic: the
+     *  same @p scale always produces the same traces regardless of
+     *  the environment.  Throws std::invalid_argument unless
+     *  scale > 0. */
+    static DbWorkloadSet buildDbSet(double scale);
 
     /** Build one SPEC proxy workload (train input) + its profile
      *  (test input), per the paper's §5.7 methodology. */
     static Workload buildSpec(const spec::SpecProgramSpec &spec);
 
+    /** Same, at an explicit scale (see buildDbSet(double)). */
+    static Workload buildSpec(const spec::SpecProgramSpec &spec,
+                              double scale);
+
     /** All seven CPU2000 proxies. */
     static std::vector<Workload> buildCpu2000Suite();
+
+    /** Same, at an explicit scale (see buildDbSet(double)). */
+    static std::vector<Workload> buildCpu2000Suite(double scale);
 };
 
 } // namespace cgp

@@ -1,9 +1,11 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "mem/pfarbiter.hh"
 #include "util/bitops.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -174,8 +176,131 @@ Cache::access(Addr addr, Cycle now, AccessSource source, bool is_write)
 }
 
 bool
+Cache::warmAccess(Addr addr, bool is_write)
+{
+    const Addr line_addr = lineAlign(addr);
+    ++tick_;
+    if (Line *l = find(line_addr); l != nullptr) {
+        l->lru = tick_;
+        l->dirty = l->dirty || is_write;
+        // A warming touch silently "uses" a prefetched line: the
+        // classification event happened inside the warmed region, so
+        // no counter moves, but the line must not later be counted
+        // useless for a reference it did receive.
+        l->referenced = true;
+        return false;
+    }
+    if (auto it = inflight_.find(line_addr); it != inflight_.end()) {
+        it->second.demanded = true;
+        return false;
+    }
+    if (next_ != nullptr)
+        next_->warmAccess(line_addr, is_write);
+    warmInstall(line_addr);
+    return true;
+}
+
+void
+Cache::warmInstall(Addr line_addr)
+{
+    const std::size_t base = setOf(line_addr) * config_.assoc;
+    std::size_t victim = base;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &l = lines_[base + w];
+        if (!l.valid) {
+            victim = base + w;
+            break;
+        }
+        if (l.lru < lines_[victim].lru)
+            victim = base + w;
+    }
+    ++tick_;
+    Line &v = lines_[victim];
+    v.valid = true;
+    v.tag = line_addr;
+    v.lru = tick_;
+    v.dirty = false;
+    v.prefetched = false;
+    v.referenced = false;
+    v.source = AccessSource::DemandFetch;
+}
+
+Json
+Cache::saveState() const
+{
+    cgp_assert(inflight_.empty(),
+               "checkpoint requires a quiesced cache");
+    Json j = Json::object();
+    j.set("name", config_.name);
+    j.set("size_bytes", config_.sizeBytes);
+    j.set("assoc", config_.assoc);
+    j.set("line_bytes", config_.lineBytes);
+    j.set("tick", tick_);
+    Json tags = Json::array();
+    Json lrus = Json::array();
+    Json meta = Json::array();
+    for (const Line &l : lines_) {
+        tags.push(l.tag);
+        lrus.push(l.lru);
+        const unsigned flags = (l.valid ? 1u : 0u) |
+            (l.dirty ? 2u : 0u) | (l.prefetched ? 4u : 0u) |
+            (l.referenced ? 8u : 0u) |
+            (static_cast<unsigned>(l.source) << 4);
+        meta.push(flags);
+    }
+    j.set("tag", std::move(tags));
+    j.set("lru", std::move(lrus));
+    j.set("meta", std::move(meta));
+    return j;
+}
+
+void
+Cache::loadState(const Json &state)
+{
+    if (state.at("name").asString() != config_.name ||
+        state.at("size_bytes").asUint() != config_.sizeBytes ||
+        state.at("assoc").asUint() != config_.assoc ||
+        state.at("line_bytes").asUint() != config_.lineBytes) {
+        throw std::runtime_error(
+            "cache checkpoint geometry mismatch for " + config_.name);
+    }
+    const Json &tags = state.at("tag");
+    const Json &lrus = state.at("lru");
+    const Json &meta = state.at("meta");
+    if (tags.size() != lines_.size() || lrus.size() != lines_.size() ||
+        meta.size() != lines_.size()) {
+        throw std::runtime_error(
+            "cache checkpoint line count mismatch for " +
+            config_.name);
+    }
+    tick_ = state.at("tick").asUint();
+    inflight_.clear();
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        Line &l = lines_[i];
+        l.tag = tags[i].asUint();
+        l.lru = lrus[i].asUint();
+        const unsigned flags =
+            static_cast<unsigned>(meta[i].asUint());
+        l.valid = (flags & 1u) != 0;
+        l.dirty = (flags & 2u) != 0;
+        l.prefetched = (flags & 4u) != 0;
+        l.referenced = (flags & 8u) != 0;
+        const unsigned src = flags >> 4;
+        if (src >= numSources) {
+            throw std::runtime_error(
+                "cache checkpoint has an invalid access source");
+        }
+        l.source = static_cast<AccessSource>(src);
+    }
+}
+
+bool
 Cache::prefetch(Addr addr, Cycle now, AccessSource source)
 {
+    // Functional warming: engines train their tables but issue
+    // nothing (no counters, no arbiter traffic, no port requests).
+    if (warming_)
+        return false;
     const Addr line_addr = lineAlign(addr);
     if (arbiter_ != nullptr) {
         switch (arbiter_->request(*this, line_addr, source, now)) {

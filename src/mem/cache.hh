@@ -33,6 +33,7 @@
 namespace cgp
 {
 
+class Json;
 class PrefetchArbiter;
 
 /** Who generated a memory-system request (for attribution stats).
@@ -215,6 +216,33 @@ class Cache
     /** Pure query: is @p addr's line in the array or an MSHR? */
     bool linePresentOrInflight(Addr addr) const;
 
+    /**
+     * Functional-warming mode (SMARTS fast-forward): while set,
+     * prefetch() is a no-op — engines keep training their tables but
+     * issue nothing, and no statistic moves.  Demand traffic during
+     * warming goes through warmAccess() instead of access().
+     */
+    void setWarming(bool warming) { warming_ = warming; }
+    bool warming() const { return warming_; }
+
+    /**
+     * Functional (timing-free) demand access: update tags, LRU and
+     * dirty bits — recursing into the next level and installing the
+     * line on a miss — without touching any counter, MSHR or port.
+     * @return true when the line missed this level's array and MSHRs.
+     */
+    bool warmAccess(Addr addr, bool is_write);
+
+    /** No in-flight fills (checkpoints require a quiesced cache). */
+    bool inflightEmpty() const { return inflight_.empty(); }
+
+    /// @{ Warm-state checkpointing: tag/LRU/flag arrays plus the LRU
+    /// tick.  MSHRs must be empty at save time (asserted); loadState
+    /// verifies the serialized geometry matches this cache's.
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
+
     /** Move fills whose ready cycle has passed into the array. */
     void tick(Cycle now);
 
@@ -282,11 +310,15 @@ class Cache
     Cycle issuePrefetch(Addr line_addr, Cycle now,
                         AccessSource source);
 
+    /** Counter-free line install used by the warming path. */
+    void warmInstall(Addr line_addr);
+
     CacheConfig config_;
     Cache *next_;
     MemoryPort *port_;
     PrefetchArbiter *arbiter_ = nullptr;
     unsigned requester_ = 0;
+    bool warming_ = false;
 
     std::uint32_t sets_;
     std::vector<Line> lines_;

@@ -138,6 +138,17 @@ class MemoryHierarchy
         shared_->tick(now);
     }
 
+    /** Functional-warming mode for every level (SMARTS sampling):
+     *  prefetches are suppressed and demand warming goes through
+     *  Cache::warmAccess, which recurses into the shared L2. */
+    void
+    setWarming(bool warming)
+    {
+        l1i_.setWarming(warming);
+        l1d_.setWarming(warming);
+        shared_->cache().setWarming(warming);
+    }
+
     /**
      * End-of-cycle drain of arbiter-deferred prefetches: the core
      * calls this after all demand traffic of the cycle has claimed

@@ -1,8 +1,11 @@
 #include "prefetch/cghc.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/bitops.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cgp
@@ -174,7 +177,8 @@ Cghc::lookup(Addr start, bool allocate, Cycle &delay, bool &hit)
             // victim to its own L2 set (paper §5.3).
             hit = true;
             delay = config_.l2Latency;
-            ++l2Hits_;
+            if (!warming_)
+                ++l2Hits_;
             Entry promoted = *e2;
             e2->valid = false;
             Entry &v1 = victimWay(l1_, l1Entries_, start);
@@ -196,7 +200,8 @@ Cghc::lookup(Addr start, bool allocate, Cycle &delay, bool &hit)
 
     // Total miss: allocate in L1; the displaced entry is written
     // back to the second level (if present).
-    ++allocs_;
+    if (!warming_)
+        ++allocs_;
     Entry &v1 = victimWay(l1_, l1Entries_, start);
     if (v1.valid && l2Entries_ > 0) {
         Entry &v2 = victimWay(l2_, l2Entries_, v1.tag);
@@ -216,23 +221,27 @@ Cghc::lookup(Addr start, bool allocate, Cycle &delay, bool &hit)
 Cghc::ProbeResult
 Cghc::callPrefetchAccess(Addr callee_start)
 {
-    ++accesses_;
+    if (!warming_)
+        ++accesses_;
     ProbeResult res;
 
     if (config_.infinite) {
         auto it = inf_.find(callee_start);
         if (it == inf_.end()) {
-            ++allocs_;
+            if (!warming_)
+                ++allocs_;
             inf_[callee_start];
             return res;
         }
         res.hit = true;
-        ++hits_;
+        if (!warming_)
+            ++hits_;
         const InfEntry &e = it->second;
         const std::size_t slot = e.index - 1;
         if (slot < e.sequence.size()) {
             res.prefetchTarget = e.sequence[slot];
-            ++prefetchHints_;
+            if (!warming_)
+                ++prefetchHints_;
         }
         return res;
     }
@@ -242,11 +251,13 @@ Cghc::callPrefetchAccess(Addr callee_start)
     if (!hit)
         return res; // fresh entry, nothing to prefetch
     res.hit = true;
-    ++hits_;
+    if (!warming_)
+        ++hits_;
     const std::size_t slot = static_cast<std::size_t>(e->index) - 1;
     if (slot < e->count && e->slots[slot] != invalidAddr) {
         res.prefetchTarget = e->slots[slot];
-        ++prefetchHints_;
+        if (!warming_)
+            ++prefetchHints_;
     }
     return res;
 }
@@ -295,23 +306,27 @@ Cghc::callUpdateAccess(Addr caller_start, Addr callee_start)
 Cghc::ProbeResult
 Cghc::returnPrefetchAccess(Addr returnee_start)
 {
-    ++accesses_;
+    if (!warming_)
+        ++accesses_;
     ProbeResult res;
 
     if (config_.infinite) {
         auto it = inf_.find(returnee_start);
         if (it == inf_.end()) {
-            ++allocs_;
+            if (!warming_)
+                ++allocs_;
             inf_[returnee_start];
             return res;
         }
         res.hit = true;
-        ++hits_;
+        if (!warming_)
+            ++hits_;
         const InfEntry &e = it->second;
         const std::size_t slot = e.index - 1;
         if (slot < e.sequence.size()) {
             res.prefetchTarget = e.sequence[slot];
-            ++prefetchHints_;
+            if (!warming_)
+                ++prefetchHints_;
         }
         return res;
     }
@@ -322,11 +337,13 @@ Cghc::returnPrefetchAccess(Addr returnee_start)
     if (!hit)
         return res;
     res.hit = true;
-    ++hits_;
+    if (!warming_)
+        ++hits_;
     const std::size_t slot = static_cast<std::size_t>(e->index) - 1;
     if (slot < e->count && e->slots[slot] != invalidAddr) {
         res.prefetchTarget = e->slots[slot];
-        ++prefetchHints_;
+        if (!warming_)
+            ++prefetchHints_;
     }
     return res;
 }
@@ -349,6 +366,112 @@ Cghc::returnUpdateAccess(Addr returning_start)
     Entry *e = lookup(returning_start, /*allocate=*/true, delay, hit);
     e->index = 1;
     (void)hit;
+}
+
+Json
+Cghc::saveState() const
+{
+    Json j = Json::object();
+    j.set("describe", config_.describe());
+    j.set("tick", tick_);
+    const auto level_to_json = [this](const std::vector<Entry> &lv) {
+        Json out = Json::object();
+        Json tags = Json::array();
+        Json idxs = Json::array();
+        Json lrus = Json::array();
+        Json slots = Json::array();
+        for (const Entry &e : lv) {
+            tags.push(e.valid ? Json(e.tag) : Json(nullptr));
+            idxs.push((static_cast<unsigned>(e.index) << 8) |
+                      static_cast<unsigned>(e.count));
+            lrus.push(e.lru);
+            for (unsigned s = 0; s < config_.slots; ++s) {
+                slots.push(s < e.slots.size() ? e.slots[s]
+                                              : invalidAddr);
+            }
+        }
+        out.set("tag", std::move(tags));
+        out.set("index_count", std::move(idxs));
+        out.set("lru", std::move(lrus));
+        out.set("slots", std::move(slots));
+        return out;
+    };
+    if (config_.infinite) {
+        // Sorted key order: unordered_map iteration order must never
+        // leak into the artifact bytes.
+        std::vector<Addr> keys;
+        keys.reserve(inf_.size());
+        for (const auto &[start, e] : inf_) {
+            (void)e;
+            keys.push_back(start);
+        }
+        std::sort(keys.begin(), keys.end());
+        Json entries = Json::array();
+        for (Addr start : keys) {
+            const InfEntry &e = inf_.at(start);
+            Json je = Json::object();
+            je.set("start", start);
+            je.set("index", e.index);
+            Json seq = Json::array();
+            for (Addr a : e.sequence)
+                seq.push(a);
+            je.set("sequence", std::move(seq));
+            entries.push(std::move(je));
+        }
+        j.set("inf", std::move(entries));
+        return j;
+    }
+    j.set("l1", level_to_json(l1_));
+    j.set("l2", level_to_json(l2_));
+    return j;
+}
+
+void
+Cghc::loadState(const Json &state)
+{
+    if (state.at("describe").asString() != config_.describe())
+        throw std::runtime_error("CGHC checkpoint geometry mismatch");
+    tick_ = state.at("tick").asUint();
+    const auto level_from_json = [this](std::vector<Entry> &lv,
+                                        const Json &in) {
+        const Json &tags = in.at("tag");
+        const Json &idxs = in.at("index_count");
+        const Json &lrus = in.at("lru");
+        const Json &slots = in.at("slots");
+        if (tags.size() != lv.size() || idxs.size() != lv.size() ||
+            lrus.size() != lv.size() ||
+            slots.size() != lv.size() * config_.slots) {
+            throw std::runtime_error(
+                "CGHC checkpoint level size mismatch");
+        }
+        for (std::size_t i = 0; i < lv.size(); ++i) {
+            Entry &e = lv[i];
+            e.valid = !tags[i].isNull();
+            e.tag = e.valid ? tags[i].asUint() : invalidAddr;
+            const unsigned ic =
+                static_cast<unsigned>(idxs[i].asUint());
+            e.index = static_cast<std::uint8_t>(ic >> 8);
+            e.count = static_cast<std::uint8_t>(ic & 0xFF);
+            e.lru = lrus[i].asUint();
+            e.slots.assign(config_.slots, invalidAddr);
+            for (unsigned s = 0; s < config_.slots; ++s)
+                e.slots[s] = slots[i * config_.slots + s].asUint();
+        }
+    };
+    if (config_.infinite) {
+        inf_.clear();
+        for (const Json &je : state.at("inf").items()) {
+            InfEntry e;
+            e.index =
+                static_cast<std::uint32_t>(je.at("index").asUint());
+            for (const Json &a : je.at("sequence").items())
+                e.sequence.push_back(a.asUint());
+            inf_.emplace(je.at("start").asUint(), std::move(e));
+        }
+        return;
+    }
+    level_from_json(l1_, state.at("l1"));
+    level_from_json(l2_, state.at("l2"));
 }
 
 } // namespace cgp

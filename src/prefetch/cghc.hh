@@ -45,6 +45,8 @@
 namespace cgp
 {
 
+class Json;
+
 struct CghcConfig
 {
     /** First-level data array bytes (32 bytes per entry). */
@@ -113,6 +115,21 @@ class Cghc
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t accesses() const { return accesses_.value(); }
 
+    /**
+     * Functional-warming mode: accesses keep training the history
+     * cache (entries allocate, indices advance, LRU moves) but the
+     * counters stay frozen — warmed calls/returns are outside the
+     * measured windows.
+     */
+    void setWarming(bool warming) { warming_ = warming; }
+
+    /// @{ Warm-state checkpointing: both finite levels (or the
+    /// infinite map, serialized in sorted key order for determinism)
+    /// plus the LRU tick.
+    Json saveState() const;
+    void loadState(const Json &state);
+    /// @}
+
   private:
     struct Entry
     {
@@ -153,6 +170,7 @@ class Cghc
     CghcConfig config_;
     std::size_t l1Entries_;
     std::size_t l2Entries_;
+    bool warming_ = false;
     std::uint64_t tick_ = 0;
     std::vector<Entry> l1_;
     std::vector<Entry> l2_;

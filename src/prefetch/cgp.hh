@@ -40,7 +40,15 @@ class CgpPrefetcher : public InstrPrefetcher
 
     const char *name() const override { return "cgp"; }
 
+    /** Forwarded to the CGHC: its counters freeze while warming. */
+    void setWarming(bool warming) override
+    {
+        cghc_.setWarming(warming);
+    }
+
     const Cghc &cghc() const { return cghc_; }
+    /** Mutable access for checkpoint restore. */
+    Cghc &cghc() { return cghc_; }
     unsigned depth() const { return depth_; }
 
   private:

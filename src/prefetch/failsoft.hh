@@ -34,11 +34,21 @@ class FailSoftPrefetcher : public InstrPrefetcher
 
     const char *name() const override;
 
+    /** Forwarded so the inner engine can freeze its counters. */
+    void setWarming(bool warming) override
+    {
+        if (inner_ != nullptr && !degraded_)
+            inner_->setWarming(warming);
+    }
+
     /** True once the inner prefetcher has been disabled. */
     bool degraded() const { return degraded_; }
 
     /** What disabled it (empty while healthy). */
     const std::string &reason() const { return reason_; }
+
+    /** The wrapped engine (for checkpoint state access). */
+    InstrPrefetcher *inner() { return inner_.get(); }
 
   private:
     void disable(const char *hook, const std::string &why);

@@ -62,6 +62,14 @@ class InstrPrefetcher
         (void)now;
     }
 
+    /**
+     * Functional-warming notification (SMARTS fast-forward): the
+     * engine's internal statistics counters should freeze while its
+     * predictive state keeps training.  Issued prefetches are
+     * already suppressed at the cache, so most engines ignore this.
+     */
+    virtual void setWarming(bool warming) { (void)warming; }
+
     virtual const char *name() const = 0;
 };
 

@@ -1,0 +1,17 @@
+#include "sample/config.hh"
+
+namespace cgp::sample
+{
+
+std::string
+SampleConfig::describe() const
+{
+    std::string s = "smp" + std::to_string(windowCycles) + "_" +
+        std::to_string(periodCycles) + "_w" +
+        std::to_string(warmupInstrs);
+    if (!functionalWarming)
+        s += "_cold";
+    return s;
+}
+
+} // namespace cgp::sample

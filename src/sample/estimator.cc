@@ -1,0 +1,68 @@
+#include "sample/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace cgp::sample
+{
+
+void
+WindowEstimator::add(double observation)
+{
+    samples_.push_back(observation);
+}
+
+double
+nearestRankPercentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    if (!std::isfinite(q))
+        q = 50.0;
+    q = std::clamp(q, 0.0, 100.0);
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        std::ceil(q / 100.0 * static_cast<double>(samples.size()));
+    const std::size_t idx =
+        static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+SampledEstimate
+WindowEstimator::estimate() const
+{
+    SampledEstimate est;
+    est.samples = samples_.size();
+    if (samples_.empty())
+        return est;
+
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    est.mean = sum / static_cast<double>(samples_.size());
+
+    if (samples_.size() > 1) {
+        double ss = 0.0;
+        for (double v : samples_) {
+            const double d = v - est.mean;
+            ss += d * d;
+        }
+        const double var =
+            ss / static_cast<double>(samples_.size() - 1);
+        est.sem = std::sqrt(
+            var / static_cast<double>(samples_.size()));
+    }
+
+    // Conservative 95% band: the union of the normal-approximation
+    // interval and the nearest-rank percentile envelope.  With few
+    // windows the percentile envelope degenerates to [min, max],
+    // which is exactly the honest answer.
+    const double lo = nearestRankPercentile(samples_, 2.5);
+    const double hi = nearestRankPercentile(samples_, 97.5);
+    est.ciLow = std::min(lo, est.mean - 1.96 * est.sem);
+    est.ciHigh = std::max(hi, est.mean + 1.96 * est.sem);
+    return est;
+}
+
+} // namespace cgp::sample

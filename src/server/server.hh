@@ -29,6 +29,8 @@
 #include "dprefetch/dprefetcher.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
+#include "sample/config.hh"
+#include "sample/estimator.hh"
 #include "server/config.hh"
 #include "server/scheduler.hh"
 #include "server/source.hh"
@@ -61,6 +63,16 @@ struct ServerWiring
     CoreConfig core;
     /** May be empty: cores run without prefetch engines. */
     EngineFactory engines;
+
+    /**
+     * SMARTS-style sampling under the lockstep loop (DESIGN.md
+     * §11.4): global detailed windows, an all-core drain, per-core
+     * functional fast-forward and one shared clock jump so the cores
+     * stay in lockstep.  Warm-state checkpoints are not offered on
+     * the server path (the scheduler/session state is not
+     * serialized); the hooks in here are ignored.
+     */
+    sample::SampleConfig sample;
 
     /** singleStream mode: the pre-merged trace replayed on core 0. */
     const TraceBuffer *singleStream = nullptr;
@@ -116,6 +128,13 @@ class DbServer
     /** Aggregate + per-core queueing statistics (valid after run). */
     ServerStats stats() const;
 
+    /** Sampling estimators (valid after run when wiring.sample is
+     *  enabled; zeroed otherwise). */
+    const sample::SampledStats &sampledStats() const
+    {
+        return sampledStats_;
+    }
+
   private:
     struct CoreUnit
     {
@@ -129,11 +148,16 @@ class DbServer
 
     void finalize();
 
+    /** The sampled lockstep loop (run() dispatches here when the
+     *  wiring enables sampling). */
+    void runSampled(const sample::SampleConfig &cfg);
+
     ServerConfig config_;
     ServerWiring wiring_;
     SharedL2 shared_;
     std::unique_ptr<AdmissionScheduler> sched_;
     std::vector<std::unique_ptr<CoreUnit>> units_;
+    sample::SampledStats sampledStats_;
     bool finalized_ = false;
 };
 

@@ -75,13 +75,21 @@ struct ServerStats
     bool operator==(const ServerStats &) const = default;
 };
 
-/** Nearest-rank percentile of an ascending-sorted sample (0 when
- *  empty); @p q in [0, 100]. */
+/**
+ * Nearest-rank percentile of an ascending-sorted sample.  Total over
+ * its whole input domain: an empty sample yields 0, @p q is clamped
+ * to [0, 100] (q = 0 selects the minimum, q = 100 the maximum), and
+ * a non-finite @p q is treated as 0 rather than fed to the
+ * float-to-integer cast (undefined behaviour for NaN).
+ */
 inline std::uint64_t
 percentile(const std::vector<std::uint64_t> &sorted, double q)
 {
     if (sorted.empty())
         return 0;
+    if (!std::isfinite(q))
+        q = 0.0;
+    q = std::clamp(q, 0.0, 100.0);
     const double rank =
         std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
     const std::size_t idx = static_cast<std::size_t>(

@@ -85,6 +85,25 @@ class InstructionExpander
     /** True once the underlying source reported End. */
     bool endOfStream() const { return ended_; }
 
+    /**
+     * Fast-forward expansion mode: replay @p n instructions,
+     * discarding the output.  Because expansion is deterministic,
+     * advancing a fresh expander by the number of instructions a
+     * warmup consumed reconstructs its internal state exactly —
+     * the replay half of warm-state checkpoint restore.
+     * @return instructions actually advanced (short only when the
+     *         trace ended or a streaming source ran dry).
+     */
+    std::uint64_t
+    advance(std::uint64_t n)
+    {
+        DynInst scratch;
+        std::uint64_t done = 0;
+        while (done < n && next(scratch))
+            ++done;
+        return done;
+    }
+
     /// @{ Expansion statistics (valid incrementally).
     std::uint64_t emittedInstrs() const { return emitted_; }
     std::uint64_t emittedCalls() const { return calls_; }

@@ -164,7 +164,7 @@ TEST(Campaign, PaperRegistryExpands)
         EXPECT_FALSE(expandJobs(spec).empty()) << name;
     }
     EXPECT_THROW(paperCampaign("nonsense"), std::invalid_argument);
-    EXPECT_EQ(campaignGroup("figures").size(), 10u);
+    EXPECT_EQ(campaignGroup("figures").size(), 11u);
     EXPECT_EQ(campaignGroup("fig4").size(), 1u);
 }
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "harness/simulator.hh"
 #include "harness/workload.hh"
 
@@ -162,6 +164,38 @@ TEST(WorkloadFactory, ScaleReadsEnvironment)
     EXPECT_GT(s, 0.0);
     EXPECT_LT(s, 1000.0);
     EXPECT_GT(WorkloadFactory::quantumInstrs(), 0u);
+}
+
+TEST(WorkloadFactory, ExplicitScaleBuildsAreDeterministic)
+{
+    spec::SpecProgramSpec s;
+    s.name = "scale-probe";
+    s.functions = 40;
+    s.hotFunctions = 20;
+    s.workPerCall = 50.0;
+    s.trainInstrs = 120'000;
+    s.testInstrs = 30'000;
+
+    // Same explicit scale twice: identical traces, independent of
+    // the CGP_SCALE environment.
+    const Workload a = WorkloadFactory::buildSpec(s, 0.1);
+    const Workload b = WorkloadFactory::buildSpec(s, 0.1);
+    ASSERT_EQ(a.trace->size(), b.trace->size());
+    const SimResult ra = runSimulation(a, SimConfig::o5Om());
+    const SimResult rb = runSimulation(b, SimConfig::o5Om());
+    EXPECT_TRUE(ra == rb);
+
+    // A bigger scale grows the workload (the knob saturates at
+    // 0.25, so both points sit below that).
+    const Workload big = WorkloadFactory::buildSpec(s, 0.25);
+    EXPECT_GT(big.trace->size(), a.trace->size());
+
+    // Non-positive scales are rejected rather than silently
+    // defaulted.
+    EXPECT_THROW(WorkloadFactory::buildSpec(s, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadFactory::buildSpec(s, -1.0),
+                 std::invalid_argument);
 }
 
 } // namespace

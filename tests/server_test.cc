@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -366,6 +368,54 @@ TEST(ServerStats, PercentileIsNearestRank)
     EXPECT_EQ(percentile(v, 95.0), 950u);
     EXPECT_EQ(percentile(v, 99.0), 990u);
     EXPECT_EQ(percentile(v, 100.0), 1000u);
+}
+
+TEST(ServerStats, PercentileEdgeCasesAreTotal)
+{
+    using server::percentile;
+    // Empty sample: 0 for any q, finite or not.
+    EXPECT_EQ(percentile({}, 0.0), 0u);
+    EXPECT_EQ(percentile({}, 100.0), 0u);
+    EXPECT_EQ(percentile({}, std::nan("")), 0u);
+
+    // Single sample: every q selects it.
+    const std::vector<std::uint64_t> one = {42};
+    EXPECT_EQ(percentile(one, 0.0), 42u);
+    EXPECT_EQ(percentile(one, 100.0), 42u);
+    EXPECT_EQ(percentile(one, std::nan("")), 42u);
+
+    // Boundaries: q = 0 is the minimum, q = 100 the maximum, and
+    // out-of-range / non-finite q never reaches the float-to-int
+    // cast (UB for NaN) — it is clamped (NaN is treated as 0).
+    const std::vector<std::uint64_t> v = {10, 20, 30, 40};
+    EXPECT_EQ(percentile(v, 0.0), 10u);
+    EXPECT_EQ(percentile(v, 100.0), 40u);
+    EXPECT_EQ(percentile(v, -5.0), 10u);
+    EXPECT_EQ(percentile(v, 250.0), 40u);
+    EXPECT_EQ(percentile(v, std::nan("")), 10u);
+    EXPECT_EQ(
+        percentile(v, std::numeric_limits<double>::infinity()),
+        10u);
+}
+
+TEST(ServerDrain, TotalQueriesFloorStopsTheRun)
+{
+    // The drain path end to end: with a totalQueries floor the
+    // scheduler stops admitting once the floor is reached, running
+    // queries finish, and the machine winds down.  The floor is a
+    // floor — queries in flight at the drain transition complete,
+    // so the served count may exceed it by at most the core count.
+    const Workload w = smokeWorkload();
+    const SimConfig cfg =
+        SimConfig::withServer(SimConfig::o5(), 2, 4, 3);
+    const SimResult r = runSimulation(w, cfg);
+    ASSERT_TRUE(r.serverEnabled);
+    EXPECT_GE(r.server.queriesServed, 3u);
+    EXPECT_LE(r.server.queriesServed, 3u + r.server.cores);
+    EXPECT_GT(r.cycles, 0u);
+    // Latency percentiles come from the served set only.
+    EXPECT_GT(r.server.latencyP50, 0u);
+    EXPECT_LE(r.server.latencyP50, r.server.latencyP99);
 }
 
 TEST(ServerStats, SimResultServerBlockRoundTripsThroughJson)
